@@ -1,0 +1,55 @@
+"""Pytest fixtures shared by all paper-reproduction benchmarks."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import (  # noqa: E402
+    CURRENT,
+    schemas_by_name,
+    trained_model,
+)
+
+
+@pytest.fixture(scope="session")
+def schemas_map():
+    return schemas_by_name()
+
+
+@pytest.fixture(scope="session")
+def spider_workload():
+    from repro.bench import spider_test_workload
+
+    return spider_test_workload(
+        items_per_schema=CURRENT.test_items_per_schema, seed=200
+    )
+
+
+@pytest.fixture(scope="session")
+def patients_workload():
+    from repro.bench import build_patients_benchmark
+
+    return build_patients_benchmark()
+
+
+@pytest.fixture(scope="session")
+def baseline_model():
+    return trained_model("baseline")
+
+
+@pytest.fixture(scope="session")
+def dbpal_train_model():
+    return trained_model("dbpal_train")
+
+
+@pytest.fixture(scope="session")
+def dbpal_full_model():
+    return trained_model("dbpal_full")
+
+
+@pytest.fixture(scope="session")
+def dbpal_full_patients_model():
+    return trained_model("dbpal_full", include_patients=True)

@@ -1,0 +1,74 @@
+"""Ablation — contribution of each augmentation step (Table 1 / §3.2).
+
+Not a paper table, but the design-choice ablation DESIGN.md calls out:
+train on Patients-schema synthesis with (a) the full augmentation
+pipeline, (b) paraphrasing disabled, (c) word dropout disabled, and
+(d) no augmentation at all, then evaluate on the Patients benchmark.
+
+Expected shape: full augmentation is the best overall; disabling
+paraphrasing hurts the lexical/semantic categories most; disabling
+dropout hurts the missing-information category most; no augmentation
+is clearly worst among DBPal variants.
+"""
+
+from __future__ import annotations
+
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.eval import evaluate, format_table
+from repro.schema import patients_schema
+
+from _common import CURRENT, manual_spider_pairs, new_model
+
+VARIANTS = {
+    "full": {},
+    "no-paraphrase": {"size_para": 0, "num_para": 0},
+    "no-dropout": {"num_missing": 0, "rand_drop_p": 0.0},
+    "no-augmentation": {
+        "size_para": 0,
+        "num_para": 0,
+        "num_missing": 0,
+        "rand_drop_p": 0.0,
+    },
+}
+
+
+def _run_variants(workload, schemas_map):
+    spider = list(manual_spider_pairs())
+    results = {}
+    for name, overrides in VARIANTS.items():
+        config = GenerationConfig(
+            size_slotfills=CURRENT.synth_size_slotfills
+        ).with_overrides(**overrides)
+        pipeline = TrainingPipeline(patients_schema(), config, seed=21)
+        corpus = pipeline.generate().subsample(CURRENT.patients_corpus_cap, seed=1)
+        pairs = spider + corpus.pairs
+        model = new_model(len(pairs))
+        model.fit(pairs)
+        results[name] = evaluate(model, workload, metric="exact", schemas=schemas_map)
+    return results
+
+
+def test_ablation_augmentation(benchmark, patients_workload, schemas_map):
+    results = benchmark.pedantic(
+        _run_variants, args=(patients_workload, schemas_map), rounds=1, iterations=1
+    )
+    categories = patients_workload.categories()
+    rows = []
+    for name, result in results.items():
+        by_category = result.by_category()
+        rows.append(
+            [name]
+            + [by_category.get(c, float("nan")) for c in categories]
+            + [result.accuracy]
+        )
+    print()
+    print(
+        format_table(
+            ["Variant", *categories, "Overall"],
+            rows,
+            title="Ablation: augmentation steps on the Patients benchmark",
+        )
+    )
+
+    # The full pipeline must beat the unaugmented variant overall.
+    assert results["full"].accuracy > results["no-augmentation"].accuracy

@@ -1,0 +1,91 @@
+"""Figure 3 — normalized accuracy vs fraction of seed templates (§6.3.2).
+
+The same model is trained with DBPal synthesis for the Patients schema
+restricted to a random subset of the seed templates (subset chosen
+*before* instantiation, so whole patterns are excluded).  The paper
+reports normalized accuracy (relative to using all templates) at 0%,
+10%, 50% and 100%:
+
+* 0%  -> the Spider-trained baseline only (low);
+* 10% -> already >4x better than 0%;
+* 50% -> ~15% below 100%;
+* 100% -> 1.0 by definition.
+
+Expected shape: a steep jump from 0% to 10%, then diminishing returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.core.seed_templates import SEED_TEMPLATES
+from repro.eval import evaluate, format_series
+from repro.schema import patients_schema
+
+from _common import CURRENT, manual_spider_pairs, new_model
+
+FRACTIONS = (0.0, 0.1, 0.5, 1.0)
+
+
+def _accuracy_for_fraction(fraction, workload, schemas_map, rng):
+    spider = list(manual_spider_pairs())
+    pairs = spider
+    if fraction > 0.0:
+        count = max(1, int(round(len(SEED_TEMPLATES) * fraction)))
+        chosen = rng.permutation(len(SEED_TEMPLATES))[:count]
+        templates = [SEED_TEMPLATES[i] for i in sorted(chosen)]
+        pipeline = TrainingPipeline(
+            patients_schema(),
+            GenerationConfig(size_slotfills=CURRENT.synth_size_slotfills),
+            templates=templates,
+            seed=33,
+        )
+        corpus = pipeline.generate().subsample(CURRENT.patients_corpus_cap, seed=0)
+        pairs = spider + corpus.pairs
+    model = new_model(len(pairs))
+    model.fit(pairs)
+    return evaluate(model, workload, metric="exact", schemas=schemas_map).accuracy
+
+
+def _sweep(workload, schemas_map):
+    """Accuracy per fraction; intermediate fractions average two random
+    template subsets (the paper's random subset selection has high
+    variance at 10% of ~90 templates)."""
+    rng = np.random.default_rng(42)
+    accuracies = {}
+    for fraction in FRACTIONS:
+        draws = 2 if 0.0 < fraction < 1.0 else 1
+        values = [
+            _accuracy_for_fraction(fraction, workload, schemas_map, rng)
+            for _ in range(draws)
+        ]
+        accuracies[fraction] = sum(values) / len(values)
+    return accuracies
+
+
+def test_figure3_seed_templates(benchmark, patients_workload, schemas_map):
+    accuracies = benchmark.pedantic(
+        _sweep, args=(patients_workload, schemas_map), rounds=1, iterations=1
+    )
+    reference = accuracies[1.0] or 1e-9
+    normalized = {
+        f"{int(f * 100)}%": accuracies[f] / reference for f in FRACTIONS
+    }
+    print()
+    print(
+        format_series(
+            normalized,
+            title="Figure 3: normalized accuracy vs fraction of seed templates",
+        )
+    )
+    print("raw accuracies:", {k: round(v, 3) for k, v in zip(normalized, accuracies.values())})
+
+    # Shape: template coverage pays off; the full library is near-best.
+    # (The paper's >4x jump from 0% to 10% presumes a baseline without
+    # cross-schema transfer; our baseline transfers via schema slots, so
+    # the 10% point is noisier — see EXPERIMENTS.md.)
+    assert accuracies[1.0] > accuracies[0.0]
+    assert accuracies[0.5] > accuracies[0.0]
+    assert accuracies[1.0] >= accuracies[0.5] * 0.8  # 100% near-best
+    assert accuracies[0.5] >= accuracies[0.1]

@@ -1,0 +1,68 @@
+"""Pluggability: train three different model families with one pipeline.
+
+The paper's headline design property (§2.1, §3.4): "our fully pluggable
+training pipeline is agnostic to the actual translation model".  This
+example trains a retrieval baseline, a plain attention seq2seq, and the
+grammar-constrained syntax-aware model on the *same* synthesized corpus
+and compares them on the Patients benchmark's naive and lexical
+categories.
+
+Run:  python examples/pluggable_models.py
+"""
+
+import time
+
+from repro.bench import build_patients_benchmark
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.eval import evaluate, format_table
+from repro.neural import RetrievalModel, Seq2SeqModel, SyntaxAwareModel
+from repro.schema import patients_schema
+
+
+def main() -> None:
+    schema = patients_schema()
+    pipeline = TrainingPipeline(schema, GenerationConfig(size_slotfills=8), seed=4)
+    corpus = pipeline.generate().subsample(4000, seed=0)
+    print(f"one synthesized corpus: {len(corpus)} pairs\n")
+
+    models = {
+        "retrieval baseline": RetrievalModel(),
+        "seq2seq": Seq2SeqModel(embed_dim=48, hidden_dim=96, epochs=8, seed=0),
+        "syntax-aware (constrained)": SyntaxAwareModel(
+            embed_dim=48, hidden_dim=96, epochs=8, seed=0
+        ),
+    }
+
+    workload = build_patients_benchmark()
+    rows = []
+    for name, model in models.items():
+        started = time.time()
+        model.fit(corpus.pairs)  # the pluggability contract: fit(pairs)
+        train_seconds = time.time() - started
+        result = evaluate(
+            model, workload, metric="exact", schemas={schema.name: schema}
+        )
+        by_category = result.by_category()
+        rows.append(
+            [
+                name,
+                by_category.get("naive", float("nan")),
+                by_category.get("lexical", float("nan")),
+                result.accuracy,
+                f"{train_seconds:.0f}s",
+            ]
+        )
+        print(f"trained and evaluated {name}")
+
+    print()
+    print(
+        format_table(
+            ["Model", "Naive", "Lexical", "Overall", "Train time"],
+            rows,
+            title="Same pipeline, three plugged-in models (Patients benchmark)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

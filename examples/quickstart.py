@@ -1,0 +1,57 @@
+"""Quickstart: bootstrap a natural-language interface from a schema alone.
+
+This is the paper's headline workflow (§1): given nothing but a database
+schema, DBPal synthesizes training data, trains a neural translator, and
+serves natural-language questions against the database — no manually
+annotated NL-SQL pairs anywhere.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DBPal,
+    GenerationConfig,
+    Seq2SeqModel,
+    load_schema,
+    populate,
+)
+
+
+def main() -> None:
+    # 1. The only required input: a schema (with optional NL annotations).
+    schema = load_schema("patients")
+    print(f"schema: {schema.name} with tables {list(schema.table_names)}")
+
+    # 2. A database instance supplies sample data for the value index
+    #    (constant anonymization) — in production this is your real data.
+    database = populate(schema, rows_per_table=30, seed=7)
+
+    # 3. Train a translator with the DBPal pipeline.  GenerationConfig
+    #    holds every Table 1 parameter; the defaults are the paper's.
+    nlidb = DBPal(database)
+    model = Seq2SeqModel(embed_dim=48, hidden_dim=96, epochs=8, seed=0)
+    print("synthesizing training data and training the model ...")
+    corpus = nlidb.train(model, config=GenerationConfig(size_slotfills=8), seed=0)
+    print(f"trained on {len(corpus)} synthesized pairs "
+          f"(families: {corpus.family_counts()})")
+
+    # 4. Ask questions in natural language.
+    some_age = database.rows("patients")[0]["age"]
+    questions = [
+        "how many patients are there",
+        "what is the average age of all patients",
+        f"show me the names of all patients with age {some_age}",
+        "what is the name of the patient with the maximum length of stay",
+    ]
+    for question in questions:
+        print("\nQ:", question)
+        result = nlidb.translate(question)
+        print("   model input :", result.model_input)
+        print("   SQL         :", result.sql)
+        if result.ok:
+            rows = nlidb.query(question, max_rows=5)
+            print("   result      :", rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments without
+the ``wheel`` package (pip then uses the setuptools legacy editable
+install). All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

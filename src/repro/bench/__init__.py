@@ -1,0 +1,35 @@
+"""Benchmark datasets: Patients, Spider substitute, GeoQuery substitute."""
+
+from repro.bench.geoquery import GEOQUERY_SIZE, geoquery_workload
+from repro.bench.patients import CATEGORIES, QUERIES_PER_CATEGORY, build_patients_benchmark
+from repro.bench.spider import (
+    DBPAL_ONLY_KINDS,
+    HUMAN_STYLE,
+    SPIDER_COMMON_KINDS,
+    TEST_SCHEMAS,
+    TRAIN_SCHEMAS,
+    humanize,
+    spider_schemas,
+    spider_test_workload,
+    spider_train_pairs,
+)
+from repro.bench.workloads import Workload, WorkloadItem
+
+__all__ = [
+    "CATEGORIES",
+    "DBPAL_ONLY_KINDS",
+    "GEOQUERY_SIZE",
+    "HUMAN_STYLE",
+    "QUERIES_PER_CATEGORY",
+    "SPIDER_COMMON_KINDS",
+    "TEST_SCHEMAS",
+    "TRAIN_SCHEMAS",
+    "Workload",
+    "WorkloadItem",
+    "build_patients_benchmark",
+    "geoquery_workload",
+    "humanize",
+    "spider_schemas",
+    "spider_test_workload",
+    "spider_train_pairs",
+]

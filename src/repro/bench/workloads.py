@@ -1,0 +1,82 @@
+"""Workload types shared by the benchmark datasets and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sql.ast import Query
+from repro.sql.difficulty import Difficulty, classify
+from repro.sql.printer import to_sql
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One evaluation example: a (pre-anonymized) NL question + gold SQL.
+
+    Following the paper (§4.1), evaluation "test sets [have]
+    pre-anonymized values" — NL carries placeholders, and gold SQL
+    matches the model's placeholder-level output.
+    """
+
+    nl: str
+    sql: Query
+    schema_name: str
+    category: str = ""  # linguistic category (Patients benchmark)
+    source: str = ""  # provenance tag (e.g. which generator produced it)
+
+    @property
+    def sql_text(self) -> str:
+        return to_sql(self.sql)
+
+    @property
+    def difficulty(self) -> Difficulty:
+        return classify(self.sql)
+
+
+@dataclass
+class Workload:
+    """A named list of evaluation items with filtering helpers."""
+
+    name: str
+    items: list[WorkloadItem] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[WorkloadItem]:
+        return iter(self.items)
+
+    def by_category(self, category: str) -> "Workload":
+        return Workload(
+            f"{self.name}/{category}",
+            [i for i in self.items if i.category == category],
+        )
+
+    def by_difficulty(self, difficulty: Difficulty) -> "Workload":
+        return Workload(
+            f"{self.name}/{difficulty.value}",
+            [i for i in self.items if i.difficulty is difficulty],
+        )
+
+    def by_schema(self, schema_name: str) -> "Workload":
+        return Workload(
+            f"{self.name}/{schema_name}",
+            [i for i in self.items if i.schema_name == schema_name],
+        )
+
+    def categories(self) -> list[str]:
+        seen: list[str] = []
+        for item in self.items:
+            if item.category and item.category not in seen:
+                seen.append(item.category)
+        return seen
+
+    def subsample(self, n: int, seed: int = 0) -> "Workload":
+        if n >= len(self.items):
+            return Workload(self.name, list(self.items))
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        idx = sorted(rng.choice(len(self.items), size=n, replace=False))
+        return Workload(self.name, [self.items[i] for i in idx])

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``schemas``   — list the built-in schemas;
+* ``generate``  — synthesize a training corpus for a schema and write
+  it to JSONL/TSV;
+* ``train``     — synthesize + train a model, saving a checkpoint;
+* ``translate`` — load a checkpoint and answer questions (one-shot or
+  interactive REPL) against a populated sample database;
+* ``benchmark`` — evaluate a checkpoint on the Patients benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.core.corpus_io import save_jsonl, save_tsv
+from repro.db import populate
+from repro.errors import ReproError
+from repro.schema import SCHEMA_FACTORIES, load_schema
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("generation parameters (Table 1)")
+    for name, default in GenerationConfig().to_dict().items():
+        kind = type(default)
+        group.add_argument(f"--{name.replace('_', '-')}", type=kind, default=default)
+
+
+def _config_from(args: argparse.Namespace) -> GenerationConfig:
+    fields = GenerationConfig().to_dict()
+    return GenerationConfig(**{name: getattr(args, name) for name in fields})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DBPal NL2SQL training pipeline"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemas", help="list built-in schemas")
+
+    generate = sub.add_parser("generate", help="synthesize a training corpus")
+    generate.add_argument("schema", help="schema name (see `schemas`)")
+    generate.add_argument("--output", required=True, help="output path")
+    generate.add_argument(
+        "--format", choices=("jsonl", "tsv"), default="jsonl"
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--pos-aware-dropout", action="store_true")
+    _add_config_arguments(generate)
+
+    train = sub.add_parser("train", help="synthesize data and train a model")
+    train.add_argument("schema")
+    train.add_argument("--output", required=True, help="checkpoint path (.npz)")
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--embed-dim", type=int, default=48)
+    train.add_argument("--hidden-dim", type=int, default=96)
+    train.add_argument("--corpus-cap", type=int, default=6000)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--model",
+        choices=("seq2seq", "syntax"),
+        default="syntax",
+        help="plain seq2seq or grammar-constrained",
+    )
+    _add_config_arguments(train)
+
+    translate = sub.add_parser("translate", help="answer NL questions")
+    translate.add_argument("schema")
+    translate.add_argument("--checkpoint", required=True)
+    translate.add_argument(
+        "--ask", default="", help="one-shot question (omit for a REPL)"
+    )
+    translate.add_argument("--rows", type=int, default=10, help="max rows to print")
+    translate.add_argument("--seed", type=int, default=7, help="sample-data seed")
+
+    bench = sub.add_parser("benchmark", help="evaluate on the Patients benchmark")
+    bench.add_argument("--checkpoint", required=True)
+    bench.add_argument("--category", default="", help="restrict to one category")
+    return parser
+
+
+def cmd_schemas(_args) -> int:
+    for name in sorted(SCHEMA_FACTORIES):
+        schema = load_schema(name)
+        tables = ", ".join(schema.table_names)
+        print(f"{name:12s} tables: {tables}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    schema = load_schema(args.schema)
+    pipeline = TrainingPipeline(
+        schema,
+        _config_from(args),
+        seed=args.seed,
+        pos_aware_dropout=args.pos_aware_dropout,
+    )
+    corpus = pipeline.generate()
+    if args.format == "jsonl":
+        save_jsonl(corpus, args.output)
+    else:
+        save_tsv(corpus, args.output)
+    print(f"wrote {len(corpus)} pairs to {args.output}")
+    print(f"families: {corpus.family_counts()}")
+    print(f"augmentations: {corpus.augmentation_counts()}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.neural import Seq2SeqModel, SyntaxAwareModel, save_model
+
+    schema = load_schema(args.schema)
+    pipeline = TrainingPipeline(schema, _config_from(args), seed=args.seed)
+    corpus = pipeline.generate().subsample(args.corpus_cap, seed=args.seed)
+    model_cls = Seq2SeqModel if args.model == "seq2seq" else SyntaxAwareModel
+    model = model_cls(
+        embed_dim=args.embed_dim,
+        hidden_dim=args.hidden_dim,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    print(f"training {args.model} model on {len(corpus)} pairs ...")
+    model.fit(corpus.pairs)
+    save_model(model, args.output)
+    print(f"saved checkpoint to {args.output} "
+          f"(final loss/token {model.loss_history[-1]:.4f})")
+    return 0
+
+
+def cmd_translate(args) -> int:
+    from repro.neural import load_model
+    from repro.runtime import DBPal
+
+    schema = load_schema(args.schema)
+    database = populate(schema, rows_per_table=30, seed=args.seed)
+    nlidb = DBPal(database, load_model(args.checkpoint))
+
+    def answer(question: str) -> None:
+        result = nlidb.translate(question)
+        print(f"SQL: {result.sql}")
+        if result.ok:
+            try:
+                for row in nlidb.query(question, max_rows=args.rows):
+                    print(" ", row)
+            except ReproError as exc:
+                print(f"  (execution failed: {exc})")
+
+    if args.ask:
+        answer(args.ask)
+        return 0
+    print("DBPal REPL — empty line to exit")
+    while True:
+        try:
+            question = input("nl> ").strip()
+        except EOFError:
+            break
+        if not question:
+            break
+        answer(question)
+    return 0
+
+
+def cmd_benchmark(args) -> int:
+    from repro.bench import build_patients_benchmark
+    from repro.eval import evaluate, format_table
+    from repro.neural import load_model
+    from repro.schema import patients_schema
+
+    workload = build_patients_benchmark()
+    if args.category:
+        workload = workload.by_category(args.category)
+    model = load_model(args.checkpoint)
+    schema = patients_schema()
+    result = evaluate(model, workload, metric="exact", schemas={schema.name: schema})
+    by_category = result.by_category()
+    rows = [[c, by_category[c]] for c in workload.categories()]
+    rows.append(["overall", result.accuracy])
+    print(format_table(["Category", "Accuracy"], rows, title="Patients benchmark"))
+    return 0
+
+
+_COMMANDS = {
+    "schemas": cmd_schemas,
+    "generate": cmd_generate,
+    "train": cmd_train,
+    "translate": cmd_translate,
+    "benchmark": cmd_benchmark,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:  # unknown schema etc.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""DBPal core: the training-data synthesis pipeline (the paper's contribution)."""
+
+from repro.core.augmenter import Augmenter
+from repro.core.comparatives import ComparativeAugmenter
+from repro.core.config import GenerationConfig
+from repro.core.corpus_io import load_jsonl, load_tsv, save_jsonl, save_tsv
+from repro.core.dropout import WordDropout
+from repro.core.generator import Generator, generate_for_schemas
+from repro.core.paraphraser import Paraphraser
+from repro.core.pipeline import TrainingCorpus, TrainingPipeline
+from repro.core.seed_templates import (
+    GROUPBY_VARIANTS,
+    KIND_REGISTRY,
+    SEED_TEMPLATES,
+    build_seed_templates,
+    builder_for,
+)
+from repro.core.templates import (
+    Family,
+    FilterSpec,
+    ParaphraseKind,
+    SeedTemplate,
+    SlotFill,
+    TrainingPair,
+    pluralize,
+    render,
+)
+from repro.core.tuning import (
+    SearchResult,
+    TrialResult,
+    grid_search,
+    random_search,
+    run_trial,
+)
+
+__all__ = [
+    "Augmenter",
+    "ComparativeAugmenter",
+    "Family",
+    "FilterSpec",
+    "GROUPBY_VARIANTS",
+    "GenerationConfig",
+    "Generator",
+    "KIND_REGISTRY",
+    "ParaphraseKind",
+    "Paraphraser",
+    "SEED_TEMPLATES",
+    "SearchResult",
+    "SeedTemplate",
+    "SlotFill",
+    "TrainingCorpus",
+    "TrainingPair",
+    "TrainingPipeline",
+    "TrialResult",
+    "WordDropout",
+    "build_seed_templates",
+    "builder_for",
+    "generate_for_schemas",
+    "grid_search",
+    "load_jsonl",
+    "load_tsv",
+    "save_jsonl",
+    "save_tsv",
+    "pluralize",
+    "random_search",
+    "render",
+    "run_trial",
+]

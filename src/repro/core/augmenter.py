@@ -1,0 +1,81 @@
+"""The augmentation stage: paraphrase + dropout + comparatives (§3.2).
+
+Given the generator's initial training set, the augmenter expands each
+pair with (1) automatic PPDB paraphrases, (2) word-dropout duplicates
+for missing/implicit information, and (3) domain-aware comparative
+substitutions.  Dropout also applies to paraphrased duplicates with
+reduced intensity, mirroring the paper's pipeline where augmentations
+compose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.comparatives import ComparativeAugmenter
+from repro.core.config import GenerationConfig
+from repro.core.dropout import WordDropout
+from repro.core.paraphraser import Paraphraser
+from repro.core.templates import TrainingPair
+from repro.nlp.ppdb import ParaphraseDatabase
+
+
+class Augmenter:
+    """Runs all §3.2 augmentation steps over a training set."""
+
+    def __init__(
+        self,
+        schemas,
+        config: GenerationConfig | None = None,
+        ppdb: ParaphraseDatabase | None = None,
+        seed: int = 0,
+        pos_aware_dropout: bool = False,
+    ) -> None:
+        self.config = config or GenerationConfig()
+        self._rng = np.random.default_rng(seed)
+        self._paraphraser = Paraphraser(
+            ppdb or ParaphraseDatabase(), self.config, self._rng
+        )
+        self._dropout = WordDropout(self.config, self._rng, pos_aware=pos_aware_dropout)
+        self._comparatives = ComparativeAugmenter(schemas)
+
+    def augment_pair(self, pair: TrainingPair) -> list[TrainingPair]:
+        """All variants of one pair, original first."""
+        variants = [pair]
+        variants.extend(self._comparatives.augment(pair))
+        paraphrased = self._paraphraser.paraphrase(pair)
+        variants.extend(paraphrased)
+        variants.extend(self._dropout.drop(pair))
+        # Compose dropout on a sample of paraphrases so the two
+        # augmentations interact (at most one composition per pair to
+        # keep corpus growth bounded).
+        if paraphrased and self._rng.random() < self.config.rand_drop_p:
+            chosen = paraphrased[int(self._rng.integers(len(paraphrased)))]
+            for dropped in self._dropout.drop(chosen)[:1]:
+                variants.append(
+                    dropped.with_nl(dropped.nl, augmentation="paraphrase+dropout")
+                )
+        return _dedupe(variants)
+
+    def augment(self, pairs) -> list[TrainingPair]:
+        """Augment a whole training set (order-preserving, deduplicated)."""
+        out: list[TrainingPair] = []
+        seen: set[tuple[str, str]] = set()
+        for pair in pairs:
+            for variant in self.augment_pair(pair):
+                key = variant.key()
+                if key not in seen:
+                    seen.add(key)
+                    out.append(variant)
+        return out
+
+
+def _dedupe(pairs: list[TrainingPair]) -> list[TrainingPair]:
+    seen: set[tuple[str, str]] = set()
+    unique: list[TrainingPair] = []
+    for pair in pairs:
+        key = pair.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(pair)
+    return unique

@@ -1,0 +1,84 @@
+"""Domain-aware comparative substitution (paper §3.2.3).
+
+"By using these resources, we can replace the general phrase *greater
+than* in an input NL query by *older than* if the domain of the schema
+attribute is set to age."  The generator already mixes domain phrases
+in; this augmentation step adds the *other* direction for every pair,
+so each instance exists both with the generic and with the
+domain-specific comparative.
+"""
+
+from __future__ import annotations
+
+from repro.core.templates import TrainingPair
+from repro.nlp.lexicons import COMPARISON_PHRASES, DOMAIN_COMPARATIVES
+from repro.schema.schema import Schema
+from repro.sql.ast import ColumnRef, CompOp, Comparison
+
+
+class ComparativeAugmenter:
+    """Swaps generic and domain-specific comparative phrases."""
+
+    def __init__(self, schemas) -> None:
+        if isinstance(schemas, Schema):
+            schemas = [schemas]
+        self._schemas = {s.name: s for s in schemas}
+
+    def augment(self, pair: TrainingPair) -> list[TrainingPair]:
+        """Comparative-swapped duplicates (never includes ``pair``)."""
+        schema = self._schemas.get(pair.schema_name)
+        if schema is None:
+            return []
+        duplicates: list[TrainingPair] = []
+        seen = {pair.nl}
+        for op, domain in self._comparison_domains(pair, schema):
+            domain_map = DOMAIN_COMPARATIVES.get(domain, {})
+            specific = domain_map.get(op)
+            if specific is None:
+                continue
+            generics = COMPARISON_PHRASES.get(op, ())
+            # generic -> specific
+            for generic in generics:
+                if generic in pair.nl:
+                    new_nl = pair.nl.replace(generic, specific, 1)
+                    if new_nl not in seen:
+                        seen.add(new_nl)
+                        duplicates.append(
+                            pair.with_nl(new_nl, augmentation="comparative")
+                        )
+                    break
+            # specific -> generic (first generic phrase)
+            if specific in pair.nl and generics:
+                new_nl = pair.nl.replace(specific, generics[0], 1)
+                if new_nl not in seen:
+                    seen.add(new_nl)
+                    duplicates.append(pair.with_nl(new_nl, augmentation="comparative"))
+        return duplicates
+
+    def _comparison_domains(self, pair: TrainingPair, schema: Schema):
+        """(op, domain) for each GT/LT comparison on a domain column."""
+        found = []
+        for pred in pair.sql.walk_predicates():
+            if not isinstance(pred, Comparison):
+                continue
+            if pred.op not in (CompOp.GT, CompOp.LT, CompOp.GE, CompOp.LE):
+                continue
+            if not isinstance(pred.left, ColumnRef):
+                continue
+            column = self._resolve_column(pred.left, pair, schema)
+            if column is not None and column.domain:
+                found.append((pred.op, column.domain))
+        return found
+
+    @staticmethod
+    def _resolve_column(ref: ColumnRef, pair: TrainingPair, schema: Schema):
+        if ref.table is not None and ref.table in schema:
+            table = schema.table(ref.table)
+            return table.column(ref.column) if ref.column in table else None
+        for table_name in pair.sql.from_tables:
+            if table_name in schema and ref.column in schema.table(table_name):
+                return schema.column(table_name, ref.column)
+        tables = schema.tables_with_column(ref.column)
+        if tables:
+            return tables[0].column(ref.column)
+        return None

@@ -1,0 +1,117 @@
+"""Generation configuration — every tuning parameter of Table 1.
+
+The paper's data-generation procedure is a parameterized function
+``Generate(D, T, phi)`` (§3.3); ``phi`` is this dataclass.  Parameter
+names follow Table 1 (``size_slotfills``, ``size_tables``,
+``groupby_p``, ``join_boost``, ``agg_boost``, ``nest_boost`` for
+instantiation; ``size_para``, ``num_para``, ``num_missing``,
+``rand_drop_p`` for augmentation).
+
+Defaults are the empirically determined values used throughout the
+evaluation (§3.2.1: "DBPal has default values for all of these
+parameters that we have empirically determined to have the best
+performance"); :meth:`GenerationConfig.sample` draws random candidates
+for the §3.3 random-search optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.errors import GenerationError
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Tuning parameters of the data generation procedure (Table 1)."""
+
+    # -- data instantiation -------------------------------------------
+    #: Maximum instances created per NL-SQL template pair by slot filling.
+    size_slotfills: int = 24
+    #: Maximum number of tables supported in join queries.
+    size_tables: int = 2
+    #: Probability of generating a GROUP BY version of a generated pair.
+    groupby_p: float = 0.30
+    #: Balance multipliers for join/aggregate/nested templates relative
+    #: to the base SELECT-FROM-WHERE family.
+    join_boost: float = 1.0
+    agg_boost: float = 1.0
+    nest_boost: float = 1.0
+
+    # -- data augmentation ---------------------------------------------
+    #: Maximum size (in words) of subclauses replaced by a paraphrase.
+    size_para: int = 2
+    #: Maximum paraphrases used to vary one subclause.
+    num_para: int = 3
+    #: Maximum duplicates with removed words per input NL query.
+    num_missing: int = 2
+    #: Probability of dropping words from a generated query at all.
+    rand_drop_p: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.size_slotfills < 1:
+            raise GenerationError("size_slotfills must be >= 1")
+        if self.size_tables < 1:
+            raise GenerationError("size_tables must be >= 1")
+        for name in ("groupby_p", "rand_drop_p"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise GenerationError(f"{name} must be in [0, 1], got {value}")
+        for name in ("join_boost", "agg_boost", "nest_boost"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise GenerationError(f"{name} must be >= 0, got {value}")
+        if self.size_para < 0 or self.num_para < 0 or self.num_missing < 0:
+            raise GenerationError("augmentation sizes must be >= 0")
+
+    def with_overrides(self, **overrides) -> "GenerationConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Random search support (§3.3)
+    # ------------------------------------------------------------------
+
+    #: Search space for the random-search optimizer: name -> candidates.
+    SEARCH_SPACE = {
+        "size_slotfills": (8, 16, 24, 32, 48),
+        "size_tables": (2, 3),
+        "groupby_p": (0.1, 0.2, 0.3, 0.5),
+        "join_boost": (0.5, 1.0, 1.5, 2.0),
+        "agg_boost": (0.5, 1.0, 1.5, 2.0),
+        "nest_boost": (0.5, 1.0, 1.5, 2.0),
+        "size_para": (0, 1, 2, 3),
+        "num_para": (0, 1, 2, 3, 5),
+        "num_missing": (0, 1, 2, 3),
+        "rand_drop_p": (0.0, 0.2, 0.35, 0.5, 0.8),
+    }
+
+    @classmethod
+    def sample(cls, rng: np.random.Generator) -> "GenerationConfig":
+        """Draw a random configuration from :data:`SEARCH_SPACE`."""
+        choices = {
+            name: candidates[int(rng.integers(len(candidates)))]
+            for name, candidates in cls.SEARCH_SPACE.items()
+        }
+        return cls(**choices)
+
+    @classmethod
+    def grid(cls, subset: dict[str, tuple] | None = None):
+        """Yield every configuration of a (sub)grid.
+
+        ``subset`` restricts the grid to the given axes (the full Table
+        1 grid is combinatorially large); unrestricted axes keep their
+        default values.
+        """
+        import itertools
+
+        space = subset or cls.SEARCH_SPACE
+        names = sorted(space)
+        for combo in itertools.product(*(space[n] for n in names)):
+            yield cls(**dict(zip(names, combo)))
+
+    def to_dict(self) -> dict:
+        """Flat dict of all parameters (for logging and reports)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

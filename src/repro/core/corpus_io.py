@@ -1,0 +1,99 @@
+"""Serialization of training corpora.
+
+Synthesized corpora are valuable artifacts (generating large ones takes
+minutes; models in other frameworks may want to train on them), so they
+can be exported and re-imported losslessly:
+
+* **JSONL** — one JSON object per pair, all metadata preserved;
+* **TSV** — two-column ``NL \\t SQL`` (the common seq2seq tooling
+  format), metadata dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.pipeline import TrainingCorpus
+from repro.core.templates import Family, TrainingPair
+from repro.errors import GenerationError
+from repro.sql.parser import parse
+
+
+def save_jsonl(corpus: TrainingCorpus, path: str | Path) -> None:
+    """Write a corpus to JSON-lines with full metadata."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for pair in corpus.pairs:
+            record = {
+                "nl": pair.nl,
+                "sql": pair.sql_text,
+                "template_id": pair.template_id,
+                "family": pair.family.value,
+                "schema": pair.schema_name,
+                "augmentation": pair.augmentation,
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: str | Path) -> TrainingCorpus:
+    """Read a corpus written by :func:`save_jsonl`."""
+    pairs: list[TrainingPair] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                pairs.append(
+                    TrainingPair(
+                        nl=record["nl"],
+                        sql=parse(record["sql"]),
+                        template_id=record["template_id"],
+                        family=Family(record["family"]),
+                        schema_name=record["schema"],
+                        augmentation=record.get("augmentation", "none"),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise GenerationError(
+                    f"invalid corpus record at {path}:{line_number}: {exc}"
+                ) from exc
+    return TrainingCorpus(pairs)
+
+
+def save_tsv(corpus: TrainingCorpus, path: str | Path) -> None:
+    """Write a plain ``NL \\t SQL`` file (for external seq2seq tooling)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for pair in corpus.pairs:
+            nl = pair.nl.replace("\t", " ")
+            handle.write(f"{nl}\t{pair.sql_text}\n")
+
+
+def load_tsv(path: str | Path, schema_name: str = "") -> TrainingCorpus:
+    """Read a two-column TSV as a corpus (metadata defaults)."""
+    pairs: list[TrainingPair] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            columns = line.split("\t")
+            if len(columns) != 2:
+                raise GenerationError(
+                    f"expected 2 tab-separated columns at {path}:{line_number}"
+                )
+            nl, sql_text = columns
+            pairs.append(
+                TrainingPair(
+                    nl=nl,
+                    sql=parse(sql_text),
+                    template_id="imported",
+                    family=Family.SELECT,
+                    schema_name=schema_name,
+                    augmentation="manual",
+                )
+            )
+    return TrainingCorpus(pairs)

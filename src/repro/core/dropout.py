@@ -1,0 +1,127 @@
+"""Word dropout for missing/implicit information (paper §3.2.2).
+
+"To make the translation more robust to missing or implicit context, we
+randomly drop words and subphrases from the NL training queries" —
+e.g. dropping "diagnosed" from "patients diagnosed with influenza" so
+the model also understands "patients with influenza".
+
+Two Table 1 parameters tune the step: ``num_missing`` is the maximum
+number of word-dropped duplicates per input NL query, and
+``rand_drop_p`` is the probability that a duplicate is generated at
+all.  Placeholders are never dropped (they carry the constant), and at
+least half of the original words are always kept so the duplicate stays
+interpretable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import GenerationConfig
+from repro.core.templates import TrainingPair
+from repro.nlp.tokenizer import is_placeholder_token
+
+#: Words that carry little meaning; preferred for removal, matching the
+#: intuition that users omit function words and verbose connectives.
+_LOW_CONTENT = frozenset(
+    "the a an of all that which are is please their its with to me".split()
+)
+
+
+class WordDropout:
+    """Produces duplicates of a pair with randomly removed words.
+
+    ``pos_aware=True`` enables the paper's §3.2.3 future-work variant:
+    a part-of-speech tagger restricts removal to word classes that can
+    plausibly be implicit (function words, auxiliaries, verbs,
+    adjectives) and never removes bare nouns that may be the only
+    mention of a schema element.
+    """
+
+    def __init__(
+        self,
+        config: GenerationConfig,
+        rng: np.random.Generator,
+        pos_aware: bool = False,
+    ) -> None:
+        self._config = config
+        self._rng = rng
+        self._pos_aware = pos_aware
+
+    def drop(self, pair: TrainingPair) -> list[TrainingPair]:
+        """Word-dropped duplicates (possibly empty; never includes ``pair``)."""
+        if self._config.num_missing <= 0 or self._config.rand_drop_p <= 0.0:
+            return []
+        words = pair.nl.split()
+        droppable = [
+            position
+            for position, word in enumerate(words)
+            if not is_placeholder_token(word)
+        ]
+        if self._pos_aware:
+            from repro.nlp.pos import DROPPABLE_TAGS, tag_word
+
+            droppable = [
+                position
+                for position in droppable
+                if tag_word(words[position]) in DROPPABLE_TAGS
+            ]
+        if len(droppable) < 2:
+            return []
+        duplicates: list[TrainingPair] = []
+        seen = {pair.nl}
+        for duplicate_index in range(self._config.num_missing):
+            if self._rng.random() >= self._config.rand_drop_p:
+                continue
+            if duplicate_index == 0:
+                # First duplicate: prefer the paper's canonical case —
+                # drop the attribute mention in front of a placeholder
+                # ("patients diagnosed with influenza" -> "patients with
+                # influenza"), which teaches the model to rely on the
+                # placeholder identity when the column is implicit.
+                new_nl = self._drop_before_placeholder(words)
+                if new_nl is None:
+                    new_nl = self._drop_once(words, droppable)
+            else:
+                new_nl = self._drop_once(words, droppable)
+            if new_nl is None or new_nl in seen:
+                continue
+            seen.add(new_nl)
+            duplicates.append(pair.with_nl(new_nl, augmentation="dropout"))
+        return duplicates
+
+    def _drop_before_placeholder(self, words: list[str]) -> str | None:
+        """Remove the 1-3 words directly preceding a random placeholder."""
+        positions = [
+            i for i, w in enumerate(words) if is_placeholder_token(w) and i > 0
+        ]
+        if not positions:
+            return None
+        target = positions[int(self._rng.integers(len(positions)))]
+        count = int(self._rng.integers(1, 4))
+        start = target
+        while start > 0 and target - start < count:
+            if is_placeholder_token(words[start - 1]):
+                break
+            start -= 1
+        if start == target or start == 0:
+            return None
+        kept = words[:start] + words[target:]
+        return " ".join(kept)
+
+    def _drop_once(self, words: list[str], droppable: list[int]) -> str | None:
+        max_removals = max(1, min(2, len(droppable) // 2))
+        count = int(self._rng.integers(1, max_removals + 1))
+        # Bias removal toward low-content words (2x weight).
+        weights = np.array(
+            [2.0 if words[i] in _LOW_CONTENT else 1.0 for i in droppable]
+        )
+        weights /= weights.sum()
+        chosen = self._rng.choice(
+            droppable, size=min(count, len(droppable)), replace=False, p=weights
+        )
+        removed = set(int(i) for i in np.atleast_1d(chosen))
+        kept = [w for i, w in enumerate(words) if i not in removed]
+        if not kept:
+            return None
+        return " ".join(kept)

@@ -1,0 +1,70 @@
+"""Automatic paraphrasing with the (synthetic) PPDB (paper §3.2.1).
+
+For each training pair we "randomly replace words and subphrases of the
+input NL query with available paraphrases provided by PPDB".  Two
+Table 1 parameters tune the aggressiveness:
+
+* ``size_para`` — maximum subclause size (in words) considered for
+  replacement; ``size_para = 2`` considers unigrams and bigrams;
+* ``num_para`` — maximum paraphrases generated per subclause.
+
+Placeholders (``@AGE`` …) are never paraphrased, as replacing them
+would break the NL/SQL alignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import GenerationConfig
+from repro.core.templates import TrainingPair
+from repro.nlp.ppdb import ParaphraseDatabase
+from repro.nlp.tokenizer import is_placeholder_token
+
+
+class Paraphraser:
+    """Produces paraphrased duplicates of a training pair."""
+
+    def __init__(
+        self,
+        ppdb: ParaphraseDatabase,
+        config: GenerationConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self._ppdb = ppdb
+        self._config = config
+        self._rng = rng
+
+    def paraphrase(self, pair: TrainingPair) -> list[TrainingPair]:
+        """Paraphrased duplicates (possibly empty; never includes ``pair``)."""
+        if self._config.size_para <= 0 or self._config.num_para <= 0:
+            return []
+        words = pair.nl.split()
+        spans = self._candidate_spans(words)
+        self._rng.shuffle(spans)
+        duplicates: list[TrainingPair] = []
+        seen = {pair.nl}
+        for start, length in spans:
+            phrase = " ".join(words[start : start + length])
+            entries = self._ppdb.lookup(phrase, max_candidates=self._config.num_para)
+            for entry in entries:
+                new_nl = " ".join(
+                    words[:start] + entry.phrase.split() + words[start + length :]
+                )
+                if new_nl in seen:
+                    continue
+                seen.add(new_nl)
+                duplicates.append(pair.with_nl(new_nl, augmentation="paraphrase"))
+        return duplicates
+
+    def _candidate_spans(self, words: list[str]) -> list[tuple[int, int]]:
+        """All (start, length) spans up to ``size_para`` words, placeholder-free."""
+        spans = []
+        max_len = min(self._config.size_para, self._ppdb.max_ngram)
+        for length in range(1, max_len + 1):
+            for start in range(len(words) - length + 1):
+                segment = words[start : start + length]
+                if any(is_placeholder_token(w) for w in segment):
+                    continue
+                spans.append((start, length))
+        return spans

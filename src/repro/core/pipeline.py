@@ -1,0 +1,166 @@
+"""The DBPal training pipeline: generate → augment → lemmatize (§2.2).
+
+:class:`TrainingPipeline` is the package's headline API.  Given only
+database schemas (plus the reusable seed templates and lexicons), it
+synthesizes a training corpus and trains any *pluggable* translation
+model on it — optionally mixed with existing manually curated pairs,
+exactly as the paper's DBPal (Train) configuration augments Spider's
+human-annotated training set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.augmenter import Augmenter
+from repro.core.config import GenerationConfig
+from repro.core.generator import generate_for_schemas
+from repro.core.seed_templates import SEED_TEMPLATES
+from repro.core.templates import SeedTemplate, TrainingPair
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.ppdb import ParaphraseDatabase
+from repro.schema.schema import Schema
+
+
+@dataclass
+class TrainingCorpus:
+    """An ordered, deduplicated collection of training pairs."""
+
+    pairs: list[TrainingPair] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def nl_texts(self) -> list[str]:
+        return [p.nl for p in self.pairs]
+
+    def sql_texts(self) -> list[str]:
+        return [p.sql_text for p in self.pairs]
+
+    def family_counts(self) -> dict[str, int]:
+        """Training pairs per query family (for balance diagnostics)."""
+        return dict(Counter(p.family.value for p in self.pairs))
+
+    def augmentation_counts(self) -> dict[str, int]:
+        """Training pairs per augmentation provenance."""
+        return dict(Counter(p.augmentation for p in self.pairs))
+
+    def merged_with(self, extra: Iterable[TrainingPair]) -> "TrainingCorpus":
+        """This corpus plus ``extra`` pairs (deduplicated, order kept)."""
+        seen = {p.key() for p in self.pairs}
+        merged = list(self.pairs)
+        for pair in extra:
+            if pair.key() not in seen:
+                seen.add(pair.key())
+                merged.append(pair)
+        return TrainingCorpus(merged)
+
+    def subsample(self, n: int, seed: int = 0) -> "TrainingCorpus":
+        """A uniform random subsample of at most ``n`` pairs."""
+        if n >= len(self.pairs):
+            return TrainingCorpus(list(self.pairs))
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self.pairs), size=n, replace=False)
+        return TrainingCorpus([self.pairs[i] for i in sorted(idx)])
+
+    def split(self, test_fraction: float, seed: int = 0):
+        """Random (train, test) split — the §3.3 automatic test workload."""
+        rng = np.random.default_rng(seed)
+        indices = rng.permutation(len(self.pairs))
+        cut = int(len(self.pairs) * (1.0 - test_fraction))
+        train = TrainingCorpus([self.pairs[i] for i in sorted(indices[:cut])])
+        test = TrainingCorpus([self.pairs[i] for i in sorted(indices[cut:])])
+        return train, test
+
+
+class TrainingPipeline:
+    """Generate → augment → lemmatize, then train any pluggable model."""
+
+    def __init__(
+        self,
+        schemas: Schema | Sequence[Schema],
+        config: GenerationConfig | None = None,
+        templates: Sequence[SeedTemplate] = SEED_TEMPLATES,
+        ppdb: ParaphraseDatabase | None = None,
+        apply_lemmatizer: bool = True,
+        seed: int = 0,
+        pos_aware_dropout: bool = False,
+    ) -> None:
+        if isinstance(schemas, Schema):
+            schemas = [schemas]
+        self.schemas = list(schemas)
+        self.config = config or GenerationConfig()
+        self.templates = tuple(templates)
+        self._ppdb = ppdb or ParaphraseDatabase()
+        self._apply_lemmatizer = apply_lemmatizer
+        self._seed = seed
+        self._pos_aware_dropout = pos_aware_dropout
+
+    # ------------------------------------------------------------------
+    # Corpus synthesis
+    # ------------------------------------------------------------------
+
+    def generate(self) -> TrainingCorpus:
+        """Run the three pipeline stages and return the corpus."""
+        initial = generate_for_schemas(
+            self.schemas, self.config, self.templates, seed=self._seed
+        )
+        augmenter = Augmenter(
+            self.schemas,
+            self.config,
+            self._ppdb,
+            seed=self._seed + 1,
+            pos_aware_dropout=self._pos_aware_dropout,
+        )
+        augmented = augmenter.augment(initial)
+        if self._apply_lemmatizer:
+            augmented = [
+                pair.with_nl(lemmatize(pair.nl), pair.augmentation)
+                for pair in augmented
+            ]
+            augmented = _dedupe(augmented)
+        return TrainingCorpus(augmented)
+
+    # ------------------------------------------------------------------
+    # Pluggable model training
+    # ------------------------------------------------------------------
+
+    def train(self, model, manual_pairs: Iterable[TrainingPair] = (), **fit_kwargs):
+        """Synthesize a corpus and fit ``model`` on it.
+
+        ``model`` may be any object with a
+        ``fit(pairs: list[TrainingPair], **kwargs)`` method — this is
+        the paper's pluggability contract.  ``manual_pairs`` mixes in
+        existing manually curated training data (§1: "such data can
+        still be used to complement our proposed data generation
+        pipeline"); manual pairs are lemmatized like generated ones.
+        """
+        corpus = self.generate()
+        manual = [
+            pair.with_nl(
+                lemmatize(pair.nl) if self._apply_lemmatizer else pair.nl,
+                pair.augmentation,
+            )
+            for pair in manual_pairs
+        ]
+        corpus = corpus.merged_with(manual)
+        model.fit(corpus.pairs, **fit_kwargs)
+        return corpus
+
+
+def _dedupe(pairs: list[TrainingPair]) -> list[TrainingPair]:
+    seen: set[tuple[str, str]] = set()
+    unique: list[TrainingPair] = []
+    for pair in pairs:
+        key = pair.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(pair)
+    return unique

@@ -1,0 +1,1093 @@
+"""The seed template library (~100 NL-SQL template pairs, paper §3.1).
+
+Each *SQL kind* couples a builder function — which picks schema
+elements and constructs the SQL AST — with several NL surface patterns.
+Per the paper, "for each initial NL template, we additionally provide
+some manually curated paraphrased NL templates ... covering categories
+such as syntactical, lexical, and morphological paraphrasing"; the
+``ParaphraseKind`` tag records which category each pattern represents.
+
+Builders are schema-independent: they work on any
+:class:`~repro.schema.schema.Schema` ("all templates are independent of
+the target database", §2.2.1) and return ``None`` when a schema cannot
+support the kind (e.g. join templates on a single-table schema).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import GenerationConfig
+from repro.core.templates import (
+    Family,
+    ParaphraseKind,
+    SeedTemplate,
+    SlotFill,
+    nl_phrase,
+    pick_column,
+    pick_filter,
+    pick_table,
+    pluralize,
+)
+from repro.nlp.lexicons import (
+    AGGREGATE_PHRASES,
+    FROM_PHRASES,
+    GROUP_PHRASES,
+    SELECT_PHRASES,
+    WHERE_PHRASES,
+    superlative_phrases,
+)
+from repro.schema.schema import Schema
+from repro.sql.ast import (
+    JOIN_PLACEHOLDER,
+    AggFunc,
+    Aggregate,
+    And,
+    Between,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    Exists,
+    InPredicate,
+    Or,
+    OrderItem,
+    Placeholder,
+    Query,
+    Star,
+    Subquery,
+)
+
+Builder = Callable[[Schema, np.random.Generator, GenerationConfig], SlotFill | None]
+
+_NAIVE = ParaphraseKind.NAIVE
+_SYN = ParaphraseKind.SYNTACTIC
+_LEX = ParaphraseKind.LEXICAL
+_MORPH = ParaphraseKind.MORPHOLOGICAL
+
+
+def _choice(rng: np.random.Generator, options):
+    return options[int(rng.integers(len(options)))]
+
+
+def _phrase_slots(rng: np.random.Generator) -> dict[str, str]:
+    """Speech-variation slots shared by every pattern (§3.1)."""
+    return {
+        "select_phrase": _choice(rng, SELECT_PHRASES),
+        "where_phrase": _choice(rng, WHERE_PHRASES),
+        "from_phrase": _choice(rng, FROM_PHRASES),
+        "group_phrase": _choice(rng, GROUP_PHRASES),
+    }
+
+
+def _table_slots(table, rng: np.random.Generator) -> dict[str, str]:
+    singular = nl_phrase(table, rng)
+    return {"table": pluralize(singular), "table_sg": singular}
+
+
+def _agg(rng: np.random.Generator, numeric_required: bool = True):
+    funcs = (AggFunc.AVG, AggFunc.SUM, AggFunc.MIN, AggFunc.MAX)
+    func = _choice(rng, funcs)
+    phrase = _choice(rng, AGGREGATE_PHRASES[func])
+    return func, phrase
+
+
+# ----------------------------------------------------------------------
+# SELECT family
+# ----------------------------------------------------------------------
+
+
+def _build_select_all(schema, rng, config):
+    table = pick_table(schema, rng)
+    query = Query(select=(Star(),), from_tables=(table.name,))
+    return SlotFill(query, {**_phrase_slots(rng), **_table_slots(table, rng)})
+
+
+def _build_select_col(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng)
+    if column is None:
+        return None
+    query = Query(select=(ColumnRef(column.name),), from_tables=(table.name,))
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_select_cols2(schema, rng, config):
+    table = pick_table(schema, rng)
+    if len(table.columns) < 2:
+        return None
+    first = pick_column(table, rng)
+    second = pick_column(table, rng, exclude=(first.name,))
+    if first is None or second is None:
+        return None
+    query = Query(
+        select=(ColumnRef(first.name), ColumnRef(second.name)),
+        from_tables=(table.name,),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(first, rng),
+        "attribute2": nl_phrase(second, rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_select_distinct(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng, numeric=False)
+    if column is None:
+        return None
+    query = Query(
+        select=(ColumnRef(column.name),), from_tables=(table.name,), distinct=True
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+    }
+    return SlotFill(query, slots)
+
+
+# ----------------------------------------------------------------------
+# FILTER family
+# ----------------------------------------------------------------------
+
+
+def _build_filter_select_all(schema, rng, config):
+    table = pick_table(schema, rng)
+    spec = pick_filter(table, rng)
+    if spec is None:
+        return None
+    query = Query(select=(Star(),), from_tables=(table.name,), where=spec.sql())
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "filter_nl": spec.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_filter_select_col(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng)
+    if column is None:
+        return None
+    spec = pick_filter(table, rng, exclude=(column.name,))
+    if spec is None:
+        return None
+    query = Query(
+        select=(ColumnRef(column.name),), from_tables=(table.name,), where=spec.sql()
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "filter_nl": spec.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_filter_two(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng)
+    if column is None:
+        return None
+    first = pick_filter(table, rng, exclude=(column.name,))
+    if first is None:
+        return None
+    second = pick_filter(table, rng, exclude=(column.name, first.column.name))
+    if second is None:
+        return None
+    query = Query(
+        select=(ColumnRef(column.name),),
+        from_tables=(table.name,),
+        where=And((first.sql(), second.sql())),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "filter_nl": first.nl(rng),
+        "filter_nl2": second.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_filter_or(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng, numeric=False)
+    if column is None:
+        return None
+    # OR of two values on the same attribute: "state is @X or @Y" is the
+    # natural phrasing, but two identical placeholders would be ambiguous
+    # at runtime, so we OR across two different attributes instead.
+    first = pick_filter(table, rng)
+    if first is None:
+        return None
+    second = pick_filter(table, rng, exclude=(first.column.name,))
+    if second is None:
+        return None
+    query = Query(
+        select=(Star(),),
+        from_tables=(table.name,),
+        where=Or((first.sql(), second.sql())),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "filter_nl": first.nl(rng),
+        "filter_nl2": second.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_filter_between(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng, numeric=True)
+    if column is None:
+        return None
+    low = Placeholder(column.name.upper() + ".LOW")
+    high = Placeholder(column.name.upper() + ".HIGH")
+    query = Query(
+        select=(Star(),),
+        from_tables=(table.name,),
+        where=Between(ColumnRef(column.name), low, high),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "low": str(low),
+        "high": str(high),
+    }
+    return SlotFill(query, slots)
+
+
+# ----------------------------------------------------------------------
+# AGGREGATE family
+# ----------------------------------------------------------------------
+
+
+def _build_agg(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng, numeric=True)
+    if column is None:
+        return None
+    func, phrase = _agg(rng)
+    query = Query(
+        select=(Aggregate(func, ColumnRef(column.name)),), from_tables=(table.name,)
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "agg_phrase": phrase,
+    }
+    return SlotFill(query, slots)
+
+
+def _build_agg_filter(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng, numeric=True)
+    if column is None:
+        return None
+    spec = pick_filter(table, rng, exclude=(column.name,))
+    if spec is None:
+        return None
+    func, phrase = _agg(rng)
+    query = Query(
+        select=(Aggregate(func, ColumnRef(column.name)),),
+        from_tables=(table.name,),
+        where=spec.sql(),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "agg_phrase": phrase,
+        "filter_nl": spec.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_count_all(schema, rng, config):
+    table = pick_table(schema, rng)
+    query = Query(select=(Aggregate(AggFunc.COUNT, Star()),), from_tables=(table.name,))
+    return SlotFill(query, {**_phrase_slots(rng), **_table_slots(table, rng)})
+
+
+def _build_count_filter(schema, rng, config):
+    table = pick_table(schema, rng)
+    spec = pick_filter(table, rng)
+    if spec is None:
+        return None
+    query = Query(
+        select=(Aggregate(AggFunc.COUNT, Star()),),
+        from_tables=(table.name,),
+        where=spec.sql(),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "filter_nl": spec.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+# ----------------------------------------------------------------------
+# GROUPBY family
+# ----------------------------------------------------------------------
+
+
+def _pick_group_column(table, rng, exclude=()):
+    """Group keys must be categorical: prefer text columns."""
+    return pick_column(table, rng, numeric=False, exclude=exclude)
+
+
+def _build_groupby_agg(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng, numeric=True)
+    if column is None:
+        return None
+    group = _pick_group_column(table, rng, exclude=(column.name,))
+    if group is None:
+        return None
+    func, phrase = _agg(rng)
+    query = Query(
+        select=(ColumnRef(group.name), Aggregate(func, ColumnRef(column.name))),
+        from_tables=(table.name,),
+        group_by=(ColumnRef(group.name),),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "agg_phrase": phrase,
+        "group_attribute": nl_phrase(group, rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_groupby_count(schema, rng, config):
+    table = pick_table(schema, rng)
+    group = _pick_group_column(table, rng)
+    if group is None:
+        return None
+    query = Query(
+        select=(ColumnRef(group.name), Aggregate(AggFunc.COUNT, Star())),
+        from_tables=(table.name,),
+        group_by=(ColumnRef(group.name),),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "group_attribute": nl_phrase(group, rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_groupby_having(schema, rng, config):
+    table = pick_table(schema, rng)
+    group = _pick_group_column(table, rng)
+    if group is None:
+        return None
+    op, having_phrase = _choice(
+        rng,
+        (
+            (CompOp.GT, "more than @NUM"),
+            (CompOp.GE, "at least @NUM"),
+            (CompOp.LT, "fewer than @NUM"),
+        ),
+    )
+    query = Query(
+        select=(ColumnRef(group.name),),
+        from_tables=(table.name,),
+        group_by=(ColumnRef(group.name),),
+        having=Comparison(Aggregate(AggFunc.COUNT, Star()), op, Placeholder("NUM")),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "group_attribute": nl_phrase(group, rng),
+        "having_nl": having_phrase,
+    }
+    return SlotFill(query, slots)
+
+
+# ----------------------------------------------------------------------
+# ORDER family
+# ----------------------------------------------------------------------
+
+
+def _build_order_sort(schema, rng, config):
+    table = pick_table(schema, rng)
+    order_col = pick_column(table, rng, numeric=True)
+    if order_col is None:
+        return None
+    desc = bool(rng.random() < 0.5)
+    query = Query(
+        select=(Star(),),
+        from_tables=(table.name,),
+        order_by=(OrderItem(ColumnRef(order_col.name), desc=desc),),
+    )
+    direction = "descending" if desc else "ascending"
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "order_attribute": nl_phrase(order_col, rng),
+        "direction": direction,
+    }
+    return SlotFill(query, slots)
+
+
+def _build_order_col_sort(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng)
+    if column is None:
+        return None
+    order_col = pick_column(table, rng, numeric=True, exclude=(column.name,))
+    if order_col is None:
+        return None
+    desc = bool(rng.random() < 0.5)
+    query = Query(
+        select=(ColumnRef(column.name),),
+        from_tables=(table.name,),
+        order_by=(OrderItem(ColumnRef(order_col.name), desc=desc),),
+    )
+    direction = "descending" if desc else "ascending"
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "order_attribute": nl_phrase(order_col, rng),
+        "direction": direction,
+    }
+    return SlotFill(query, slots)
+
+
+# ----------------------------------------------------------------------
+# NESTED family
+# ----------------------------------------------------------------------
+
+
+def _build_superlative_nested(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng)
+    if column is None:
+        return None
+    target = pick_column(table, rng, numeric=True, exclude=(column.name,))
+    if target is None:
+        return None
+    use_max = bool(rng.random() < 0.5)
+    func = AggFunc.MAX if use_max else AggFunc.MIN
+    max_phrase, min_phrase = superlative_phrases(target.domain)
+    superlative = max_phrase if use_max else min_phrase
+    inner = Query(
+        select=(Aggregate(func, ColumnRef(target.name)),), from_tables=(table.name,)
+    )
+    query = Query(
+        select=(ColumnRef(column.name),),
+        from_tables=(table.name,),
+        where=Comparison(ColumnRef(target.name), CompOp.EQ, Subquery(inner)),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "order_attribute": nl_phrase(target, rng),
+        "superlative": superlative,
+    }
+    return SlotFill(query, slots)
+
+
+def _build_nested_filter(schema, rng, config):
+    table = pick_table(schema, rng)
+    column = pick_column(table, rng)
+    if column is None:
+        return None
+    target = pick_column(table, rng, numeric=True, exclude=(column.name,))
+    if target is None:
+        return None
+    spec = pick_filter(
+        table, rng, exclude=(column.name, target.name), numeric=False
+    )
+    if spec is None:
+        return None
+    use_max = bool(rng.random() < 0.5)
+    func = AggFunc.MAX if use_max else AggFunc.MIN
+    max_phrase, min_phrase = superlative_phrases(target.domain)
+    superlative = max_phrase if use_max else min_phrase
+    inner = Query(
+        select=(Aggregate(func, ColumnRef(target.name)),),
+        from_tables=(table.name,),
+        where=spec.sql(),
+    )
+    query = Query(
+        select=(ColumnRef(column.name),),
+        from_tables=(table.name,),
+        where=Comparison(ColumnRef(target.name), CompOp.EQ, Subquery(inner)),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "order_attribute": nl_phrase(target, rng),
+        "superlative": superlative,
+        "filter_nl": spec.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_nested_avg_cmp(schema, rng, config):
+    table = pick_table(schema, rng)
+    target = pick_column(table, rng, numeric=True)
+    if target is None:
+        return None
+    column = pick_column(table, rng, exclude=(target.name,))
+    if column is None:
+        return None
+    above = bool(rng.random() < 0.5)
+    op = CompOp.GT if above else CompOp.LT
+    inner = Query(
+        select=(Aggregate(AggFunc.AVG, ColumnRef(target.name)),),
+        from_tables=(table.name,),
+    )
+    query = Query(
+        select=(ColumnRef(column.name),),
+        from_tables=(table.name,),
+        where=Comparison(ColumnRef(target.name), op, Subquery(inner)),
+    )
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(table, rng),
+        "attribute": nl_phrase(column, rng),
+        "order_attribute": nl_phrase(target, rng),
+        "above_below": "above" if above else "below",
+    }
+    return SlotFill(query, slots)
+
+
+def _fk_pair(schema, rng):
+    """Pick a foreign key, randomly oriented (child, parent) or flipped."""
+    if not schema.foreign_keys:
+        return None
+    fk = _choice(rng, schema.foreign_keys)
+    return fk
+
+
+def _build_in_subquery(schema, rng, config):
+    fk = _fk_pair(schema, rng)
+    if fk is None:
+        return None
+    child = schema.table(fk.table)
+    parent = schema.table(fk.ref_table)
+    column = pick_column(child, rng, exclude=(fk.column,))
+    if column is None:
+        return None
+    spec = pick_filter(parent, rng, exclude=(fk.ref_column,))
+    if spec is None:
+        return None
+    inner = Query(
+        select=(ColumnRef(fk.ref_column),),
+        from_tables=(parent.name,),
+        where=spec.sql(),
+    )
+    query = Query(
+        select=(ColumnRef(column.name),),
+        from_tables=(child.name,),
+        where=InPredicate(ColumnRef(fk.column), subquery=Subquery(inner)),
+    )
+    parent_sg = nl_phrase(parent, rng)
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(child, rng),
+        "attribute": nl_phrase(column, rng),
+        "table2": pluralize(parent_sg),
+        "table2_sg": parent_sg,
+        "filter_nl": spec.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_exists_subquery(schema, rng, config):
+    if len(schema.tables) < 2:
+        return None
+    outer = pick_table(schema, rng)
+    others = [t for t in schema.tables if t.name != outer.name]
+    inner_table = _choice(rng, others)
+    spec = pick_filter(inner_table, rng)
+    if spec is None:
+        return None
+    inner = Query(select=(Star(),), from_tables=(inner_table.name,), where=spec.sql())
+    query = Query(
+        select=(Star(),),
+        from_tables=(outer.name,),
+        where=Exists(Subquery(inner)),
+    )
+    inner_sg = nl_phrase(inner_table, rng)
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(outer, rng),
+        "table2": pluralize(inner_sg),
+        "table2_sg": inner_sg,
+        "filter_nl": spec.nl(rng),
+    }
+    return SlotFill(query, slots)
+
+
+# ----------------------------------------------------------------------
+# JOIN family (FROM is the @JOIN placeholder, §5.1)
+# ----------------------------------------------------------------------
+
+
+def _join_endpoints(schema, rng, max_hops: int):
+    """Pick two FK-connected tables up to ``max_hops`` edges apart."""
+    if not schema.foreign_keys:
+        return None
+    fk = _choice(rng, schema.foreign_keys)
+    near, far = fk.table, fk.ref_table
+    if rng.random() < 0.5:
+        near, far = far, near
+    if max_hops >= 2 and rng.random() < 0.35:
+        # Try to extend one more hop from `far`.
+        extensions = [
+            other_fk
+            for other_fk in schema.foreign_keys
+            if far in (other_fk.table, other_fk.ref_table)
+            and near not in (other_fk.table, other_fk.ref_table)
+        ]
+        if extensions:
+            ext = _choice(rng, extensions)
+            far = ext.ref_table if ext.table == far else ext.table
+    if near == far:
+        return None
+    return schema.table(near), schema.table(far)
+
+
+def _build_join_select(schema, rng, config):
+    endpoints = _join_endpoints(schema, rng, config.size_tables - 1)
+    if endpoints is None:
+        return None
+    main, other = endpoints
+    column = pick_column(main, rng)
+    if column is None:
+        return None
+    spec = pick_filter(other, rng, qualified=True)
+    if spec is None:
+        return None
+    query = Query(
+        select=(ColumnRef(column.name, table=main.name),),
+        from_tables=(JOIN_PLACEHOLDER,),
+        where=spec.sql(),
+    )
+    other_sg = nl_phrase(other, rng)
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(main, rng),
+        "attribute": nl_phrase(column, rng),
+        "table2": pluralize(other_sg),
+        "table2_sg": other_sg,
+        "filter_nl": spec.nl(rng, name_prefix=other_sg + " "),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_join_agg(schema, rng, config):
+    endpoints = _join_endpoints(schema, rng, config.size_tables - 1)
+    if endpoints is None:
+        return None
+    main, other = endpoints
+    column = pick_column(main, rng, numeric=True)
+    if column is None:
+        return None
+    spec = pick_filter(other, rng, qualified=True)
+    if spec is None:
+        return None
+    func, phrase = _agg(rng)
+    query = Query(
+        select=(Aggregate(func, ColumnRef(column.name, table=main.name)),),
+        from_tables=(JOIN_PLACEHOLDER,),
+        where=spec.sql(),
+    )
+    other_sg = nl_phrase(other, rng)
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(main, rng),
+        "attribute": nl_phrase(column, rng),
+        "agg_phrase": phrase,
+        "table2": pluralize(other_sg),
+        "table2_sg": other_sg,
+        "filter_nl": spec.nl(rng, name_prefix=other_sg + " "),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_join_count(schema, rng, config):
+    endpoints = _join_endpoints(schema, rng, config.size_tables - 1)
+    if endpoints is None:
+        return None
+    main, other = endpoints
+    spec = pick_filter(other, rng, qualified=True)
+    if spec is None:
+        return None
+    query = Query(
+        select=(Aggregate(AggFunc.COUNT, Star()),),
+        from_tables=(JOIN_PLACEHOLDER,),
+        where=spec.sql(),
+    )
+    other_sg = nl_phrase(other, rng)
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(main, rng),
+        "table2": pluralize(other_sg),
+        "table2_sg": other_sg,
+        "filter_nl": spec.nl(rng, name_prefix=other_sg + " "),
+    }
+    return SlotFill(query, slots)
+
+
+def _build_join_groupby(schema, rng, config):
+    endpoints = _join_endpoints(schema, rng, config.size_tables - 1)
+    if endpoints is None:
+        return None
+    main, other = endpoints
+    column = pick_column(main, rng, numeric=True)
+    if column is None:
+        return None
+    group = pick_column(other, rng, numeric=False)
+    if group is None:
+        return None
+    func, phrase = _agg(rng)
+    query = Query(
+        select=(
+            ColumnRef(group.name, table=other.name),
+            Aggregate(func, ColumnRef(column.name, table=main.name)),
+        ),
+        from_tables=(JOIN_PLACEHOLDER,),
+        group_by=(ColumnRef(group.name, table=other.name),),
+    )
+    other_sg = nl_phrase(other, rng)
+    slots = {
+        **_phrase_slots(rng),
+        **_table_slots(main, rng),
+        "attribute": nl_phrase(column, rng),
+        "agg_phrase": phrase,
+        "table2_sg": other_sg,
+        "group_attribute": other_sg + " " + nl_phrase(group, rng),
+    }
+    return SlotFill(query, slots)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: sql kind -> (family, builder, tuple of (nl pattern, paraphrase kind)).
+KIND_REGISTRY: dict[str, tuple[Family, Builder, tuple[tuple[str, ParaphraseKind], ...]]] = {
+    "select_all": (
+        Family.SELECT,
+        _build_select_all,
+        (
+            ("{select_phrase} all {table}", _NAIVE),
+            ("what are all the {table}", _SYN),
+            ("i want to see every {table_sg}", _LEX),
+            ("all {table} please", _SYN),
+            ("give a listing of the {table}", _LEX),
+        ),
+    ),
+    "select_col": (
+        Family.SELECT,
+        _build_select_col,
+        (
+            ("{select_phrase} the {attribute} {from_phrase} {table}", _NAIVE),
+            ("what is the {attribute} of the {table}", _NAIVE),
+            ("for all {table} , {select_phrase} their {attribute}", _SYN),
+            ("the {attribute} of all {table}", _SYN),
+            ("{select_phrase} each {table_sg}'s {attribute}", _MORPH),
+        ),
+    ),
+    "select_cols2": (
+        Family.SELECT,
+        _build_select_cols2,
+        (
+            ("{select_phrase} the {attribute} and {attribute2} {from_phrase} {table}", _NAIVE),
+            ("what are the {attribute} and the {attribute2} of the {table}", _SYN),
+            ("{select_phrase} both {attribute} and {attribute2} of all {table}", _LEX),
+        ),
+    ),
+    "select_distinct": (
+        Family.SELECT,
+        _build_select_distinct,
+        (
+            ("{select_phrase} the distinct {attribute} of the {table}", _NAIVE),
+            ("what are the different {attribute} of {table}", _LEX),
+            ("list all unique {attribute} among the {table}", _LEX),
+        ),
+    ),
+    "filter_select_all": (
+        Family.FILTER,
+        _build_filter_select_all,
+        (
+            ("{select_phrase} all {table} {where_phrase} {filter_nl}", _NAIVE),
+            ("which {table} have {filter_nl}", _SYN),
+            ("what are the {table} whose {filter_nl}", _SYN),
+            ("{select_phrase} {table} {where_phrase} {filter_nl}", _NAIVE),
+            ("are there {table} with {filter_nl}", _SYN),
+            ("{where_phrase} {filter_nl} , {select_phrase} all {table}", _SYN),
+        ),
+    ),
+    "filter_select_col": (
+        Family.FILTER,
+        _build_filter_select_col,
+        (
+            ("{select_phrase} the {attribute} of all {table} {where_phrase} {filter_nl}", _NAIVE),
+            ("what is the {attribute} of {table} {where_phrase} {filter_nl}", _NAIVE),
+            ("for {table} with {filter_nl} , what is their {attribute}", _SYN),
+            ("{where_phrase} {filter_nl} , {select_phrase} the {attribute} of the {table}", _SYN),
+            ("{select_phrase} the {attribute} of {table} having {filter_nl}", _MORPH),
+            ("what be the {attribute} of {table} whose {filter_nl}", _MORPH),
+            ("tell me the {attribute} for {table} with {filter_nl}", _LEX),
+        ),
+    ),
+    "filter_two": (
+        Family.FILTER,
+        _build_filter_two,
+        (
+            ("{select_phrase} the {attribute} of {table} with {filter_nl} and {filter_nl2}", _NAIVE),
+            ("which {table} have {filter_nl} and {filter_nl2} , {select_phrase} their {attribute}", _SYN),
+            ("{select_phrase} the {attribute} of all {table} {where_phrase} {filter_nl} and with {filter_nl2}", _LEX),
+        ),
+    ),
+    "filter_or": (
+        Family.FILTER,
+        _build_filter_or,
+        (
+            ("{select_phrase} all {table} with {filter_nl} or {filter_nl2}", _NAIVE),
+            ("which {table} have {filter_nl} or {filter_nl2}", _SYN),
+            ("{select_phrase} {table} {where_phrase} either {filter_nl} or {filter_nl2}", _LEX),
+        ),
+    ),
+    "filter_between": (
+        Family.FILTER,
+        _build_filter_between,
+        (
+            ("{select_phrase} all {table} with {attribute} between {low} and {high}", _NAIVE),
+            ("which {table} have a {attribute} ranging from {low} to {high}", _LEX),
+            ("{select_phrase} {table} whose {attribute} is between {low} and {high}", _SYN),
+        ),
+    ),
+    "agg": (
+        Family.AGGREGATE,
+        _build_agg,
+        (
+            ("what is the {agg_phrase} {attribute} of all {table}", _NAIVE),
+            ("{select_phrase} the {agg_phrase} {attribute} of the {table}", _NAIVE),
+            ("compute the {agg_phrase} {attribute} over all {table}", _LEX),
+            ("across all {table} , what is the {agg_phrase} {attribute}", _SYN),
+            ("{select_phrase} the {agg_phrase} of the {attribute} across the {table}", _SYN),
+        ),
+    ),
+    "agg_filter": (
+        Family.AGGREGATE,
+        _build_agg_filter,
+        (
+            ("what is the {agg_phrase} {attribute} of {table} {where_phrase} {filter_nl}", _NAIVE),
+            ("for {table} with {filter_nl} , what is the {agg_phrase} {attribute}", _SYN),
+            ("{select_phrase} the {agg_phrase} {attribute} of all {table} whose {filter_nl}", _NAIVE),
+            ("what is the {agg_phrase} {attribute} among {table} having {filter_nl}", _MORPH),
+        ),
+    ),
+    "count_all": (
+        Family.AGGREGATE,
+        _build_count_all,
+        (
+            ("how many {table} are there", _NAIVE),
+            ("count the number of {table}", _NAIVE),
+            ("what is the total number of {table}", _LEX),
+            ("what number of {table} exist", _SYN),
+            ("total count of {table}", _SYN),
+        ),
+    ),
+    "count_filter": (
+        Family.AGGREGATE,
+        _build_count_filter,
+        (
+            ("how many {table} have {filter_nl}", _NAIVE),
+            ("count the {table} {where_phrase} {filter_nl}", _NAIVE),
+            ("what is the number of {table} whose {filter_nl}", _LEX),
+            ("number of {table} with {filter_nl}", _SYN),
+        ),
+    ),
+    "groupby_agg": (
+        Family.GROUPBY,
+        _build_groupby_agg,
+        (
+            ("{select_phrase} the {agg_phrase} {attribute} of {table} {group_phrase} {group_attribute}", _NAIVE),
+            ("what is the {agg_phrase} {attribute} {group_phrase} {group_attribute} of the {table}", _SYN),
+            ("{group_phrase} {group_attribute} , {select_phrase} the {agg_phrase} {attribute} of {table}", _SYN),
+            ("per {group_attribute} , what is the {agg_phrase} {attribute} of the {table}", _SYN),
+        ),
+    ),
+    "groupby_count": (
+        Family.GROUPBY,
+        _build_groupby_count,
+        (
+            ("how many {table} are there {group_phrase} {group_attribute}", _NAIVE),
+            ("count the number of {table} {group_phrase} {group_attribute}", _NAIVE),
+            ("{select_phrase} the number of {table} {group_phrase} {group_attribute}", _LEX),
+        ),
+    ),
+    "groupby_having": (
+        Family.GROUPBY,
+        _build_groupby_having,
+        (
+            ("which {group_attribute} have {having_nl} {table}", _NAIVE),
+            ("{select_phrase} the {group_attribute} values with {having_nl} {table}", _LEX),
+            ("what {group_attribute} appear for {having_nl} {table}", _SYN),
+        ),
+    ),
+    "order_sort": (
+        Family.ORDER,
+        _build_order_sort,
+        (
+            ("{select_phrase} all {table} sorted by {order_attribute} in {direction} order", _NAIVE),
+            ("{select_phrase} all {table} ordered by {direction} {order_attribute}", _SYN),
+            ("rank the {table} by {order_attribute} {direction}", _LEX),
+        ),
+    ),
+    "order_col_sort": (
+        Family.ORDER,
+        _build_order_col_sort,
+        (
+            ("{select_phrase} the {attribute} of all {table} sorted by {order_attribute} in {direction} order", _NAIVE),
+            ("{select_phrase} the {attribute} of {table} ordered by {direction} {order_attribute}", _SYN),
+        ),
+    ),
+    "superlative_nested": (
+        Family.NESTED,
+        _build_superlative_nested,
+        (
+            ("what is the {attribute} of the {table_sg} with the {superlative} {order_attribute}", _NAIVE),
+            ("{select_phrase} the {attribute} of the {table_sg} whose {order_attribute} is the {superlative}", _SYN),
+            ("the {table_sg} with the {superlative} {order_attribute} , what is its {attribute}", _SYN),
+            ("{select_phrase} the {attribute} of the {superlative} {table_sg}", _LEX),
+            ("which {table_sg} has the {superlative} {order_attribute} , {select_phrase} its {attribute}", _SYN),
+        ),
+    ),
+    "nested_filter": (
+        Family.NESTED,
+        _build_nested_filter,
+        (
+            ("what is the {attribute} of the {table_sg} with the {superlative} {order_attribute} among those whose {filter_nl}", _NAIVE),
+            ("for {table} with {filter_nl} , {select_phrase} the {attribute} of the one with the {superlative} {order_attribute}", _SYN),
+        ),
+    ),
+    "nested_avg_cmp": (
+        Family.NESTED,
+        _build_nested_avg_cmp,
+        (
+            ("{select_phrase} the {attribute} of {table} whose {order_attribute} is {above_below} average", _NAIVE),
+            ("which {table} have a {order_attribute} {above_below} the average {order_attribute}", _SYN),
+            ("{select_phrase} the {attribute} of every {table_sg} with {above_below} average {order_attribute}", _LEX),
+        ),
+    ),
+    "in_subquery": (
+        Family.NESTED,
+        _build_in_subquery,
+        (
+            ("{select_phrase} the {attribute} of {table} of {table2} with {filter_nl}", _NAIVE),
+            ("which {table} belong to {table2} whose {filter_nl}", _SYN),
+            ("{select_phrase} the {attribute} of {table} whose {table2_sg} has {filter_nl}", _LEX),
+        ),
+    ),
+    "exists_subquery": (
+        Family.NESTED,
+        _build_exists_subquery,
+        (
+            ("if there are {table2} with {filter_nl} , {select_phrase} all {table}", _NAIVE),
+            ("{select_phrase} all {table} provided some {table2_sg} has {filter_nl}", _SYN),
+        ),
+    ),
+    "join_select": (
+        Family.JOIN,
+        _build_join_select,
+        (
+            ("{select_phrase} the {attribute} of all {table} whose {filter_nl}", _NAIVE),
+            ("what is the {attribute} of {table} of the {table2_sg} with {filter_nl}", _SYN),
+            ("for {table} whose {filter_nl} , {select_phrase} their {attribute}", _SYN),
+            ("{select_phrase} the {attribute} of {table} linked to a {table2_sg} with {filter_nl}", _LEX),
+            ("{select_phrase} the {attribute} of {table} connected to {table2} having {filter_nl}", _LEX),
+        ),
+    ),
+    "join_agg": (
+        Family.JOIN,
+        _build_join_agg,
+        (
+            ("what is the {agg_phrase} {attribute} of {table} whose {filter_nl}", _NAIVE),
+            ("for {table} of the {table2_sg} with {filter_nl} , what is the {agg_phrase} {attribute}", _SYN),
+            ("{select_phrase} the {agg_phrase} {attribute} of all {table} whose {filter_nl}", _NAIVE),
+        ),
+    ),
+    "join_count": (
+        Family.JOIN,
+        _build_join_count,
+        (
+            ("how many {table} have a {table2_sg} with {filter_nl}", _NAIVE),
+            ("count the {table} whose {filter_nl}", _NAIVE),
+            ("what is the number of {table} of {table2} with {filter_nl}", _LEX),
+        ),
+    ),
+    "join_groupby": (
+        Family.JOIN,
+        _build_join_groupby,
+        (
+            ("{select_phrase} the {agg_phrase} {attribute} of {table} {group_phrase} {group_attribute}", _NAIVE),
+            ("what is the {agg_phrase} {attribute} of the {table} {group_phrase} {group_attribute}", _SYN),
+        ),
+    ),
+}
+
+#: Aggregate kinds that have a GROUP BY variant (used by ``groupby_p``).
+GROUPBY_VARIANTS = {
+    "agg": "groupby_agg",
+    "agg_filter": "groupby_agg",
+    "count_all": "groupby_count",
+    "count_filter": "groupby_count",
+    "join_agg": "join_groupby",
+}
+
+
+def build_seed_templates() -> tuple[SeedTemplate, ...]:
+    """Materialize the seed template library (one entry per NL pattern)."""
+    templates: list[SeedTemplate] = []
+    for kind, (family, _builder, patterns) in KIND_REGISTRY.items():
+        for position, (pattern, para_kind) in enumerate(patterns):
+            templates.append(
+                SeedTemplate(
+                    tid=f"{kind}-{position:02d}",
+                    family=family,
+                    sql_kind=kind,
+                    nl_pattern=pattern,
+                    paraphrase_kind=para_kind,
+                )
+            )
+    return tuple(templates)
+
+
+#: The default library: approximately 100 seed templates (paper §2.2.1).
+SEED_TEMPLATES: tuple[SeedTemplate, ...] = build_seed_templates()
+
+
+def builder_for(kind: str) -> Builder:
+    """The builder function of a SQL kind."""
+    try:
+        return KIND_REGISTRY[kind][1]
+    except KeyError:
+        raise KeyError(f"unknown SQL kind {kind!r}") from None

@@ -1,0 +1,19 @@
+"""In-memory DBMS substrate: storage, executor, value index, data generation."""
+
+from repro.db.datagen import populate
+from repro.db.executor import execute
+from repro.db.index import ValueHit, ValueIndex
+from repro.db.similarity import best_match, jaccard_tokens, jaccard_trigram
+from repro.db.storage import Database, Row
+
+__all__ = [
+    "Database",
+    "Row",
+    "ValueHit",
+    "ValueIndex",
+    "best_match",
+    "execute",
+    "jaccard_tokens",
+    "jaccard_trigram",
+    "populate",
+]

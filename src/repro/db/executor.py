@@ -1,0 +1,310 @@
+"""Query executor over the in-memory database.
+
+Implements the classic pipeline FROM → WHERE → GROUP BY → HAVING →
+SELECT → DISTINCT → ORDER BY → LIMIT for the SQL subset.  Multi-table
+FROM clauses are evaluated as a cross product filtered by the WHERE
+predicate — the shape the post-processor emits after expanding the
+``@JOIN`` placeholder into explicit tables plus join conditions.
+
+Results are lists of dicts keyed by output-column labels, in output
+order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.db.expressions import JoinedRow, evaluate_predicate, resolve_column
+from repro.db.functions import evaluate_aggregate
+from repro.db.storage import Database, Row
+from repro.sql.ast import (
+    JOIN_PLACEHOLDER,
+    Aggregate,
+    ColumnRef,
+    Comparison,
+    Query,
+    Star,
+    Subquery,
+)
+
+#: Guard against accidentally exploding cross products in tests.
+MAX_CROSS_PRODUCT = 2_000_000
+
+
+def execute(query: Query, database: Database, max_rows: int | None = None) -> list[Row]:
+    """Execute ``query`` against ``database``.
+
+    Raises :class:`~repro.errors.ExecutionError` for queries outside
+    the executable subset (unresolved placeholders, unknown tables or
+    columns, correlated subqueries).
+    """
+    if query.uses_join_placeholder:
+        raise ExecutionError(
+            f"cannot execute query with unresolved {JOIN_PLACEHOLDER} placeholder; "
+            "run the post-processor first"
+        )
+    for table in query.from_tables:
+        if table not in database.schema:
+            raise ExecutionError(
+                f"unknown table {table!r} in schema {database.schema.name!r}"
+            )
+
+    subquery_cache: dict[int, Any] = {}
+
+    def subquery_values(sub: Subquery) -> Any:
+        key = id(sub)
+        if key not in subquery_cache:
+            subquery_cache[key] = _execute_subquery(sub.query, database)
+        return subquery_cache[key]
+
+    # FROM: cross product of the referenced tables.
+    per_table_rows = [database.rows(t) for t in query.from_tables]
+    size = 1
+    for rows in per_table_rows:
+        size *= max(len(rows), 1)
+    if size > MAX_CROSS_PRODUCT:
+        raise ExecutionError(
+            f"cross product of {query.from_tables} has {size} rows; refusing"
+        )
+    joined: list[JoinedRow] = [
+        dict(zip(query.from_tables, combo))
+        for combo in itertools.product(*per_table_rows)
+    ]
+
+    # WHERE.
+    if query.where is not None:
+        joined = [
+            row
+            for row in joined
+            if evaluate_predicate(query.where, row, subquery_values)
+        ]
+
+    has_aggregates = bool(query.aggregates()) or any(
+        isinstance(i, Aggregate) for i in query.select
+    )
+
+    if query.group_by or has_aggregates:
+        output = _execute_grouped(query, joined, subquery_values)
+    else:
+        output = _execute_plain(query, joined, subquery_values)
+
+    if query.distinct:
+        seen: set[tuple] = set()
+        unique = []
+        for row in output:
+            key = tuple(row.values())
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        output = unique
+
+    if query.order_by:
+        output = _order_rows(output, query)
+
+    if query.limit is not None:
+        output = output[: query.limit]
+    if max_rows is not None:
+        output = output[:max_rows]
+    return output
+
+
+# ----------------------------------------------------------------------
+# Non-grouped execution
+# ----------------------------------------------------------------------
+
+
+def _execute_plain(query: Query, joined: list[JoinedRow], subquery_values) -> list[Row]:
+    output: list[Row] = []
+    for row in joined:
+        record: Row = {}
+        for item in query.select:
+            if isinstance(item, Star):
+                for table in query.from_tables:
+                    for column, value in row[table].items():
+                        record[_star_label(query, table, column)] = value
+            elif isinstance(item, ColumnRef):
+                record[str(item)] = resolve_column(item, row)
+            else:
+                raise ExecutionError(
+                    f"aggregate {item} outside grouped execution"
+                )
+        # Keep sort keys accessible for ORDER BY on non-selected columns.
+        for order in query.order_by:
+            if isinstance(order.expr, ColumnRef) and str(order.expr) not in record:
+                record["__order__" + str(order.expr)] = resolve_column(order.expr, row)
+        output.append(record)
+    return output
+
+
+def _star_label(query: Query, table: str, column: str) -> str:
+    return f"{table}.{column}" if len(query.from_tables) > 1 else column
+
+
+# ----------------------------------------------------------------------
+# Grouped execution
+# ----------------------------------------------------------------------
+
+
+def _execute_grouped(query: Query, joined: list[JoinedRow], subquery_values) -> list[Row]:
+    groups: dict[tuple, list[JoinedRow]] = {}
+    if query.group_by:
+        for row in joined:
+            key = tuple(resolve_column(c, row) for c in query.group_by)
+            groups.setdefault(key, []).append(row)
+    else:
+        groups[()] = joined
+
+    output: list[Row] = []
+    for key, rows in groups.items():
+        if query.having is not None:
+            if not _evaluate_group_predicate(query.having, rows, key, query, subquery_values):
+                continue
+        record: Row = {}
+        for item in query.select:
+            if isinstance(item, Aggregate):
+                record[str(item)] = _aggregate_over(item, rows)
+            elif isinstance(item, ColumnRef):
+                record[str(item)] = _group_key_value(item, key, query, rows)
+            elif isinstance(item, Star):
+                raise ExecutionError("SELECT * cannot be combined with GROUP BY")
+        for order in query.order_by:
+            label = str(order.expr)
+            if label in record:
+                continue
+            if isinstance(order.expr, Aggregate):
+                record["__order__" + label] = _aggregate_over(order.expr, rows)
+            else:
+                record["__order__" + label] = _group_key_value(
+                    order.expr, key, query, rows
+                )
+        output.append(record)
+    return output
+
+
+def _aggregate_over(agg: Aggregate, rows: list[JoinedRow]) -> Any:
+    if isinstance(agg.arg, Star):
+        return evaluate_aggregate(agg.func, [1] * len(rows), agg.distinct)
+    values = [resolve_column(agg.arg, row) for row in rows]
+    values = [v for v in values if v is not None]
+    return evaluate_aggregate(agg.func, values, agg.distinct)
+
+
+def _group_key_value(ref: ColumnRef, key: tuple, query: Query, rows: list[JoinedRow]) -> Any:
+    for position, group_col in enumerate(query.group_by):
+        if group_col == ref or (group_col.column == ref.column and ref.table is None):
+            return key[position]
+    if not query.group_by and rows:
+        # Implicit single group: a bare column is only well-defined if
+        # constant; we take the first row's value (SQLite-style leniency).
+        return resolve_column(ref, rows[0])
+    if not rows:
+        return None
+    raise ExecutionError(f"column {ref} is neither grouped nor aggregated")
+
+
+def _evaluate_group_predicate(pred, rows, key, query, subquery_values) -> bool:
+    """Evaluate a HAVING predicate for one group."""
+    from repro.db.expressions import compare, evaluate_operand
+    from repro.sql.ast import And, CompOp, Or
+
+    if isinstance(pred, And):
+        return all(
+            _evaluate_group_predicate(p, rows, key, query, subquery_values)
+            for p in pred.operands
+        )
+    if isinstance(pred, Or):
+        return any(
+            _evaluate_group_predicate(p, rows, key, query, subquery_values)
+            for p in pred.operands
+        )
+    if isinstance(pred, Comparison):
+        def side(operand):
+            if isinstance(operand, Aggregate):
+                return _aggregate_over(operand, rows)
+            if isinstance(operand, ColumnRef):
+                return _group_key_value(operand, key, query, rows)
+            return evaluate_operand(operand, rows[0] if rows else {}, subquery_values)
+
+        return compare(pred.op, side(pred.left), side(pred.right))
+    raise ExecutionError(f"unsupported HAVING predicate {pred!r}")
+
+
+# ----------------------------------------------------------------------
+# Ordering and subqueries
+# ----------------------------------------------------------------------
+
+
+def _order_rows(output: list[Row], query: Query) -> list[Row]:
+    def sort_key(row: Row):
+        keys = []
+        for order in query.order_by:
+            label = str(order.expr)
+            value = row.get(label, row.get("__order__" + label))
+            # None sorts first ascending, last descending.
+            keys.append((value is None, value))
+        return tuple(keys)
+
+    # Sort once per ORDER BY item, last key first, honouring per-key
+    # direction (Python's sort is stable).
+    result = list(output)
+    for position in range(len(query.order_by) - 1, -1, -1):
+        order = query.order_by[position]
+        label = str(order.expr)
+
+        def key_for(row: Row, label=label, desc=order.desc):
+            value = row.get(label, row.get("__order__" + label))
+            missing = value is None
+            if desc:
+                return (missing, _Reversed(value))
+            return (missing, _Comparable(value))
+
+        result.sort(key=key_for)
+    # Strip helper sort columns.
+    return [
+        {k: v for k, v in row.items() if not k.startswith("__order__")}
+        for row in result
+    ]
+
+
+class _Comparable:
+    """Total-order wrapper tolerating mixed types (None handled upstream)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Comparable") -> bool:
+        left, right = self.value, other.value
+        if isinstance(left, str) != isinstance(right, str):
+            return str(left) < str(right)
+        if left is None:
+            return False
+        return left < right
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Comparable) and self.value == other.value
+
+
+class _Reversed(_Comparable):
+    def __lt__(self, other: "_Comparable") -> bool:  # type: ignore[override]
+        return _Comparable(other.value) < _Comparable(self.value)
+
+
+def _execute_subquery(query: Query, database: Database) -> Any:
+    """Execute an uncorrelated subquery.
+
+    * scalar subqueries (single aggregate select) return the scalar;
+    * one-column subqueries return the list of values (for IN);
+    * EXISTS subqueries return the raw row list.
+    """
+    rows = execute(query, database)
+    if len(query.select) == 1 and isinstance(query.select[0], Aggregate):
+        if not rows:
+            return None
+        return next(iter(rows[0].values()))
+    if len(query.select) == 1 and not isinstance(query.select[0], Star):
+        return [next(iter(row.values())) for row in rows]
+    return rows

@@ -1,0 +1,33 @@
+"""Aggregate function implementations for the executor."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ExecutionError
+from repro.sql.ast import AggFunc
+
+
+def evaluate_aggregate(func: AggFunc, values: Sequence[Any], distinct: bool = False) -> Any:
+    """Apply ``func`` to ``values`` (nulls already removed, except COUNT(*)).
+
+    SQL semantics: SUM/AVG/MIN/MAX of an empty input are NULL (None);
+    COUNT of an empty input is 0.
+    """
+    if distinct:
+        values = list(dict.fromkeys(values))
+    if func is AggFunc.COUNT:
+        return len(values)
+    if not values:
+        return None
+    if func in (AggFunc.SUM, AggFunc.AVG):
+        if any(isinstance(v, str) for v in values):
+            raise ExecutionError(f"{func.value} over non-numeric values")
+        if func is AggFunc.SUM:
+            return sum(values)
+        return sum(values) / len(values)
+    if func is AggFunc.MIN:
+        return min(values)
+    if func is AggFunc.MAX:
+        return max(values)
+    raise ExecutionError(f"unsupported aggregate function {func}")

@@ -1,0 +1,90 @@
+"""Value index: constant -> candidate (table, column) attributions.
+
+"As a temporary solution in the basic version of DBPal, we build an
+index on each attribute of the schema that maps constants to possible
+attribute names" (paper §4.1).  The runtime parameter handler uses this
+index to anonymize constants in the user's NL query, with a similarity
+fallback for string constants that only approximately match database
+values (e.g. "New York City" vs "NYC").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.similarity import SimilarityFn, best_match, jaccard_trigram
+from repro.db.storage import Database
+
+
+@dataclass(frozen=True)
+class ValueHit:
+    """One attribution of a constant to a schema column."""
+
+    table: str
+    column: str
+    value: int | float | str
+    score: float  # 1.0 for exact hits, the similarity score otherwise
+
+
+class ValueIndex:
+    """Inverted index over every attribute of the database."""
+
+    def __init__(
+        self,
+        database: Database,
+        similarity: SimilarityFn = jaccard_trigram,
+        similarity_threshold: float = 0.4,
+    ) -> None:
+        self._similarity = similarity
+        self._threshold = similarity_threshold
+        self._exact: dict[str, list[tuple[str, str, object]]] = {}
+        self._text_values: dict[tuple[str, str], list[str]] = {}
+        for table in database.schema.tables:
+            for column in table.columns:
+                values = database.column_values(table.name, column.name)
+                unique = list(dict.fromkeys(values))
+                if not column.is_numeric:
+                    self._text_values[(table.name, column.name)] = [
+                        str(v) for v in unique
+                    ]
+                for value in unique:
+                    key = self._normalize(value)
+                    self._exact.setdefault(key, []).append(
+                        (table.name, column.name, value)
+                    )
+
+    @staticmethod
+    def _normalize(value) -> str:
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        return str(value).strip().lower()
+
+    def lookup(self, constant: str) -> list[ValueHit]:
+        """Exact (normalized) lookup of a constant."""
+        hits = self._exact.get(self._normalize(constant), [])
+        return [ValueHit(t, c, v, 1.0) for t, c, v in hits]
+
+    def fuzzy_lookup(self, constant: str) -> list[ValueHit]:
+        """Exact lookup with a similarity fallback for strings (§4.1).
+
+        When the similarity of all values is below the threshold —
+        "which could mean that the value does not exist in the
+        database" — an empty list is returned and the caller keeps the
+        constant as given by the user.
+        """
+        exact = self.lookup(constant)
+        if exact:
+            return exact
+        hits: list[ValueHit] = []
+        for (table, column), values in self._text_values.items():
+            match, score = best_match(
+                constant, values, self._similarity, self._threshold
+            )
+            if match is not None:
+                hits.append(ValueHit(table, column, match, score))
+        hits.sort(key=lambda h: (-h.score, h.table, h.column))
+        return hits
+
+    def columns_for(self, constant: str) -> list[tuple[str, str]]:
+        """Candidate (table, column) pairs for a constant, best first."""
+        return [(h.table, h.column) for h in self.fuzzy_lookup(constant)]

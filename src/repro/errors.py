@@ -1,0 +1,56 @@
+"""Exception hierarchy for the DBPal reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+that callers can catch the whole family with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or lookup of a missing schema element."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL subsystem errors."""
+
+
+class SqlLexError(SqlError):
+    """The SQL lexer encountered a character it cannot tokenize."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class SqlParseError(SqlError):
+    """The SQL parser rejected the token stream."""
+
+
+class ExecutionError(ReproError):
+    """The in-memory executor could not evaluate a query."""
+
+
+class TemplateError(ReproError):
+    """A seed template is malformed or cannot be instantiated."""
+
+
+class GenerationError(ReproError):
+    """The training-data generator could not produce a corpus."""
+
+
+class TranslationError(ReproError):
+    """The runtime phase could not translate a natural-language query."""
+
+
+class ModelError(ReproError):
+    """A neural model was used incorrectly (e.g. predict before fit)."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark dataset could not be constructed or loaded."""

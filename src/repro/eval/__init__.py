@@ -1,0 +1,22 @@
+"""Evaluation: metrics, harness, coverage analysis, report formatting."""
+
+from repro.eval.coverage import BUCKETS, CoverageBreakdown, bucket_of, coverage_breakdown
+from repro.eval.harness import EvalResult, ItemResult, evaluate
+from repro.eval.metrics import exact_match, parse_rate, semantic_match
+from repro.eval.reports import format_histogram, format_series, format_table
+
+__all__ = [
+    "BUCKETS",
+    "CoverageBreakdown",
+    "EvalResult",
+    "ItemResult",
+    "bucket_of",
+    "coverage_breakdown",
+    "evaluate",
+    "exact_match",
+    "format_histogram",
+    "format_series",
+    "format_table",
+    "parse_rate",
+    "semantic_match",
+]

@@ -1,0 +1,67 @@
+"""Pattern-coverage breakdown (paper §6.3.1, Table 4).
+
+Each test query's pattern signature is checked against the pattern sets
+of the two training sources — the human-annotated (Spider-substitute)
+training set and DBPal's synthesized data — splitting the workload into
+four buckets: *Both*, *DBPal only*, *Spider only*, *Unseen*.  Accuracy
+is then reported per bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.harness import EvalResult
+from repro.sql.patterns import pattern_set, pattern_signature
+
+#: Bucket labels in Table 4's column order.
+BUCKETS = ("both", "dbpal", "spider", "unseen")
+
+
+@dataclass
+class CoverageBreakdown:
+    """Per-bucket accuracy plus bucket sizes."""
+
+    accuracy: dict[str, float]
+    counts: dict[str, int]
+
+    def as_rows(self) -> list[tuple[str, float, int]]:
+        return [(b, self.accuracy[b], self.counts[b]) for b in BUCKETS]
+
+
+def bucket_of(signature: str, spider_patterns: set[str], dbpal_patterns: set[str]) -> str:
+    in_spider = signature in spider_patterns
+    in_dbpal = signature in dbpal_patterns
+    if in_spider and in_dbpal:
+        return "both"
+    if in_dbpal:
+        return "dbpal"
+    if in_spider:
+        return "spider"
+    return "unseen"
+
+
+def coverage_breakdown(
+    result: EvalResult,
+    spider_training_sql,
+    dbpal_training_sql,
+) -> CoverageBreakdown:
+    """Split an evaluation result by training-pattern coverage.
+
+    ``spider_training_sql`` / ``dbpal_training_sql`` are iterables of
+    SQL texts (or ASTs) of the respective training corpora.
+    """
+    spider_patterns = pattern_set(spider_training_sql)
+    dbpal_patterns = pattern_set(dbpal_training_sql)
+    totals = {b: 0 for b in BUCKETS}
+    correct = {b: 0 for b in BUCKETS}
+    for record in result.records:
+        bucket = bucket_of(
+            pattern_signature(record.item.sql), spider_patterns, dbpal_patterns
+        )
+        totals[bucket] += 1
+        correct[bucket] += int(record.correct)
+    accuracy = {
+        b: (correct[b] / totals[b]) if totals[b] else float("nan") for b in BUCKETS
+    }
+    return CoverageBreakdown(accuracy=accuracy, counts=totals)

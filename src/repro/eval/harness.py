@@ -1,0 +1,129 @@
+"""The evaluation harness: run a model over a workload, break down accuracy.
+
+Produces the numbers behind every table of §6: overall accuracy,
+per-difficulty (Table 2), per-linguistic-category (Table 3), and raw
+per-item records for the pattern-coverage analysis (Table 4).
+
+The harness optionally routes model output through the runtime
+post-processor (JOIN expansion + FROM repair) before comparison — the
+paper's system always does; ablating it quantifies the repair step's
+contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.workloads import Workload, WorkloadItem
+from repro.eval.metrics import exact_match, semantic_match
+from repro.nlp.lemmatizer import lemmatize
+from repro.runtime.postprocess import PostProcessor
+from repro.schema.schema import Schema
+from repro.sql.difficulty import DIFFICULTY_ORDER, Difficulty
+from repro.sql.equivalence import EquivalenceChecker
+
+
+@dataclass
+class ItemResult:
+    """Evaluation record for one workload item."""
+
+    item: WorkloadItem
+    prediction: str | None
+    correct: bool
+
+
+@dataclass
+class EvalResult:
+    """Accuracy breakdowns over one workload."""
+
+    workload_name: str
+    records: list[ItemResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.correct for r in self.records) / len(self.records)
+
+    def accuracy_where(self, predicate) -> float:
+        subset = [r for r in self.records if predicate(r.item)]
+        if not subset:
+            return float("nan")
+        return sum(r.correct for r in subset) / len(subset)
+
+    def by_difficulty(self) -> dict[Difficulty, float]:
+        return {
+            d: self.accuracy_where(lambda item, d=d: item.difficulty is d)
+            for d in DIFFICULTY_ORDER
+        }
+
+    def by_category(self) -> dict[str, float]:
+        categories: list[str] = []
+        for record in self.records:
+            if record.item.category and record.item.category not in categories:
+                categories.append(record.item.category)
+        return {
+            c: self.accuracy_where(lambda item, c=c: item.category == c)
+            for c in categories
+        }
+
+    def failures(self, limit: int | None = None) -> list[ItemResult]:
+        failed = [r for r in self.records if not r.correct]
+        return failed[:limit] if limit is not None else failed
+
+
+def evaluate(
+    model,
+    workload: Workload,
+    metric: str = "exact",
+    checker: EquivalenceChecker | None = None,
+    schemas: dict[str, Schema] | None = None,
+    postprocess: bool = True,
+) -> EvalResult:
+    """Evaluate ``model`` on ``workload``.
+
+    ``metric`` is ``"exact"`` (Spider protocol) or ``"semantic"``
+    (Patients protocol, needs a ``checker`` for execution-based
+    equivalence).  ``schemas`` enables post-processing repair per item
+    schema; items whose schema is missing skip repair.
+    """
+    if metric not in ("exact", "semantic"):
+        raise ValueError(f"unknown metric {metric!r}")
+    postprocessors: dict[str, PostProcessor] = {}
+    if postprocess and schemas:
+        postprocessors = {
+            name: PostProcessor(schema) for name, schema in schemas.items()
+        }
+    result = EvalResult(workload_name=workload.name)
+    for item in workload:
+        # Mirror the runtime pre-processing: benchmark NL is already
+        # anonymized, but must still be lemmatized before translation.
+        # Cross-domain models additionally receive the item's schema.
+        schema = (schemas or {}).get(item.schema_name)
+        if schema is not None:
+            raw = model.translate_for_schema(lemmatize(item.nl), schema)
+        else:
+            raw = model.translate(lemmatize(item.nl))
+        prediction: str | None = raw
+        gold: object = item.sql
+        post = postprocessors.get(item.schema_name)
+        if post is not None:
+            processed = post.process(raw)
+            if processed is not None:
+                prediction = processed.sql
+            # Gold queries may use the @JOIN form too; run them through
+            # the same repair so both sides are in executable form.
+            gold_processed = post.process(item.sql_text)
+            if gold_processed is not None:
+                gold = gold_processed.query
+        if metric == "exact":
+            correct = exact_match(prediction, gold)
+        else:
+            correct = semantic_match(prediction, gold, checker)
+        result.records.append(
+            ItemResult(item=item, prediction=prediction, correct=correct)
+        )
+    return result

@@ -1,0 +1,60 @@
+"""Accuracy metrics for NL2SQL evaluation.
+
+Two notions from the paper:
+
+* **exact match** (Spider, §6.1.1) — "a query is deemed to be correctly
+  translated only if it exactly matches the provided gold standard SQL
+  query ... without allowing for semantically equivalent answers".  We
+  compare canonical forms so cosmetic differences (keyword case,
+  operand order within commutative operators) do not count as errors,
+  matching Spider's component-normalized comparison.
+* **semantic match** (Patients, §6.2.1) — equivalence up to semantics,
+  decided by the :class:`~repro.sql.equivalence.EquivalenceChecker`.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import Query
+from repro.sql.equivalence import EquivalenceChecker
+from repro.sql.normalize import canonical_sql
+from repro.sql.parser import try_parse
+
+
+def _as_query(candidate: str | Query | None) -> Query | None:
+    if candidate is None:
+        return None
+    if isinstance(candidate, Query):
+        return candidate
+    return try_parse(candidate)
+
+
+def exact_match(predicted: str | Query | None, gold: str | Query) -> bool:
+    """Canonical-form exact match (unparseable predictions are wrong)."""
+    predicted_query = _as_query(predicted)
+    gold_query = _as_query(gold)
+    if predicted_query is None or gold_query is None:
+        return False
+    return canonical_sql(predicted_query) == canonical_sql(gold_query)
+
+
+def semantic_match(
+    predicted: str | Query | None,
+    gold: str | Query,
+    checker: EquivalenceChecker | None = None,
+) -> bool:
+    """Semantic-equivalence match (falls back to exact when no checker)."""
+    predicted_query = _as_query(predicted)
+    gold_query = _as_query(gold)
+    if predicted_query is None or gold_query is None:
+        return False
+    if checker is None:
+        return canonical_sql(predicted_query) == canonical_sql(gold_query)
+    return checker.equivalent(predicted_query, gold_query)
+
+
+def parse_rate(predictions: list[str | None]) -> float:
+    """Fraction of predictions that parse in the SQL subset."""
+    if not predictions:
+        return 0.0
+    ok = sum(1 for p in predictions if p is not None and try_parse(p) is not None)
+    return ok / len(predictions)

@@ -1,0 +1,71 @@
+"""Plain-text report formatting for benchmark output.
+
+The benches print tables shaped like the paper's Tables 2-4 and
+text histograms shaped like Figures 3-4, so paper-vs-measured
+comparison is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return "-" if math.isnan(cell) else f"{cell:.3f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    counts: Sequence[int],
+    edges: Sequence[float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render a horizontal ASCII histogram (Figure 4 style)."""
+    lines = [title] if title else []
+    peak = max(counts) if len(counts) else 1
+    for i, count in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else int(round(width * count / peak)))
+        lines.append(f"{edges[i]:.3f}-{edges[i + 1]:.3f} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Mapping[object, float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render an x->y series as labelled bars (Figure 3 style)."""
+    lines = [title] if title else []
+    peak = max((v for v in points.values() if not math.isnan(v)), default=1.0)
+    peak = peak or 1.0
+    for label, value in points.items():
+        if math.isnan(value):
+            lines.append(f"{str(label):>10} | -")
+            continue
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label):>10} | {bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Neural translation models (pluggable into the DBPal pipeline)."""
+
+from repro.neural.base import (
+    TranslationModel,
+    safe_sql_tokens,
+    sql_to_tokens,
+    tokens_to_sql,
+)
+from repro.neural.checkpoint import load_model, save_model
+from repro.neural.crossdomain import CrossDomainModel, SchemaMap
+from repro.neural.grammar import GrammarMask, SqlDecodingAutomaton, classify
+from repro.neural.retrieval import RetrievalModel
+from repro.neural.seq2seq import Seq2SeqModel
+from repro.neural.syntaxnet import SyntaxAwareModel
+
+__all__ = [
+    "CrossDomainModel",
+    "GrammarMask",
+    "SchemaMap",
+    "RetrievalModel",
+    "Seq2SeqModel",
+    "SqlDecodingAutomaton",
+    "SyntaxAwareModel",
+    "TranslationModel",
+    "classify",
+    "load_model",
+    "safe_sql_tokens",
+    "save_model",
+    "sql_to_tokens",
+    "tokens_to_sql",
+]

@@ -1,0 +1,87 @@
+"""The pluggable translation-model interface and SQL token helpers.
+
+DBPal "is agnostic to the actual translation model" (paper §2.1): any
+object satisfying :class:`TranslationModel` can be trained by the
+pipeline and served by the runtime phase.  The contract is minimal on
+purpose — ``fit`` on training pairs, ``translate`` preprocessed NL to
+SQL text (or ``None`` when the model cannot produce a parse).
+
+SQL target sequences use the tokens of :mod:`repro.sql.lexer` rendered
+to canonical text (keywords upper-case, identifiers lower-case), so a
+decoded token sequence joined by spaces is directly parseable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.templates import TrainingPair
+from repro.errors import SqlError
+from repro.sql.lexer import TokenType, tokenize as sql_tokenize
+
+
+class TranslationModel(abc.ABC):
+    """Anything that can be plugged into DBPal's pipeline."""
+
+    @abc.abstractmethod
+    def fit(self, pairs: Sequence[TrainingPair], **kwargs) -> None:
+        """Train on (NL, SQL) pairs (NL already lemmatized/anonymized)."""
+
+    @abc.abstractmethod
+    def translate(self, nl: str) -> str | None:
+        """Translate preprocessed NL to SQL text with placeholders.
+
+        Returns ``None`` when no translation can be produced.
+        """
+
+    def translate_batch(self, nls: Sequence[str]) -> list[str | None]:
+        """Translate many inputs (models may override for speed)."""
+        return [self.translate(nl) for nl in nls]
+
+    def translate_for_schema(self, nl: str, schema) -> str | None:
+        """Translate with an explicit target schema.
+
+        Schema-agnostic models ignore the schema; cross-domain models
+        (see :mod:`repro.neural.crossdomain`) override this to encode
+        it, mirroring how SyntaxSQLNet receives the database schema as
+        part of its input.
+        """
+        return self.translate(nl)
+
+
+_AGG_KEYWORDS = {"count", "sum", "avg", "min", "max"}
+
+
+def sql_to_tokens(sql_text: str) -> list[str]:
+    """Tokenize SQL text into the canonical target token sequence.
+
+    Raises :class:`~repro.errors.SqlError` (via the lexer) on text that
+    is not lexable — training data always is.
+    """
+    tokens: list[str] = []
+    for token in sql_tokenize(sql_text):
+        if token.type is TokenType.EOF:
+            break
+        if token.type is TokenType.KEYWORD:
+            tokens.append(token.value.upper())
+        elif token.type is TokenType.PLACEHOLDER:
+            tokens.append("@" + token.value.upper())
+        elif token.type is TokenType.STRING:
+            tokens.append("'" + token.value + "'")
+        else:
+            tokens.append(token.value)
+    return tokens
+
+
+def tokens_to_sql(tokens: Sequence[str]) -> str:
+    """Join target tokens back into (parseable) SQL text."""
+    return " ".join(tokens)
+
+
+def safe_sql_tokens(sql_text: str) -> list[str] | None:
+    """Like :func:`sql_to_tokens` but returns None on lexing failure."""
+    try:
+        return sql_to_tokens(sql_text)
+    except SqlError:
+        return None

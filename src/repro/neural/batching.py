@@ -1,0 +1,94 @@
+"""Batch construction for sequence training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.nlp.vocab import Vocab
+
+
+@dataclass
+class Batch:
+    """One padded mini-batch.
+
+    ``src`` is (B, Ts); ``tgt_in``/``tgt_out`` are (B, Tt) —
+    ``tgt_in`` starts with BOS, ``tgt_out`` ends with EOS (teacher
+    forcing).  Masks are float 0/1 arrays of matching shape.
+    """
+
+    src: np.ndarray
+    src_mask: np.ndarray
+    tgt_in: np.ndarray
+    tgt_out: np.ndarray
+    tgt_mask: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return self.src.shape[0]
+
+
+def pad_sequences(sequences: Sequence[list[int]], pad_id: int) -> np.ndarray:
+    """Right-pad integer sequences into a (B, T) array."""
+    if not sequences:
+        return np.zeros((0, 0), dtype=np.int64)
+    max_len = max(len(s) for s in sequences)
+    out = np.full((len(sequences), max_len), pad_id, dtype=np.int64)
+    for row, seq in enumerate(sequences):
+        out[row, : len(seq)] = seq
+    return out
+
+
+def make_batch(
+    src_token_lists: Sequence[list[str]],
+    tgt_token_lists: Sequence[list[str]],
+    src_vocab: Vocab,
+    tgt_vocab: Vocab,
+) -> Batch:
+    """Encode and pad parallel token sequences into one batch."""
+    src_ids = [src_vocab.encode(tokens) for tokens in src_token_lists]
+    tgt_in_ids = [tgt_vocab.encode(tokens, add_bos=True) for tokens in tgt_token_lists]
+    tgt_out_ids = [tgt_vocab.encode(tokens, add_eos=True) for tokens in tgt_token_lists]
+    src = pad_sequences(src_ids, src_vocab.pad_id)
+    tgt_in = pad_sequences(tgt_in_ids, tgt_vocab.pad_id)
+    tgt_out = pad_sequences(tgt_out_ids, tgt_vocab.pad_id)
+    src_mask = (src != src_vocab.pad_id).astype(np.float64)
+    # Positions where the *output* is PAD contribute no loss.
+    tgt_mask = (tgt_out != tgt_vocab.pad_id).astype(np.float64)
+    return Batch(src, src_mask, tgt_in, tgt_out, tgt_mask)
+
+
+def iterate_batches(
+    src_token_lists: Sequence[list[str]],
+    tgt_token_lists: Sequence[list[str]],
+    src_vocab: Vocab,
+    tgt_vocab: Vocab,
+    batch_size: int,
+    rng: np.random.Generator,
+    bucket_by_length: bool = True,
+) -> Iterator[Batch]:
+    """Shuffled mini-batches, bucketed by source length to limit padding."""
+    order = rng.permutation(len(src_token_lists))
+    if bucket_by_length:
+        order = np.array(
+            sorted(order.tolist(), key=lambda i: len(src_token_lists[i]))
+        )
+        # Shuffle whole buckets so epochs differ while padding stays low.
+        starts = np.arange(0, len(order), batch_size)
+        rng.shuffle(starts)
+        chunks = [order[s : s + batch_size] for s in starts]
+    else:
+        chunks = [
+            order[s : s + batch_size] for s in range(0, len(order), batch_size)
+        ]
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        yield make_batch(
+            [src_token_lists[i] for i in chunk],
+            [tgt_token_lists[i] for i in chunk],
+            src_vocab,
+            tgt_vocab,
+        )

@@ -1,0 +1,85 @@
+"""Checkpointing: save and restore trained seq2seq models.
+
+Parameters go into a single ``.npz`` archive; vocabularies and
+hyperparameters into a sibling JSON file.  Only the numeric state is
+persisted — the architecture is reconstructed from hyperparameters, so
+checkpoints stay valid across refactors that keep the layer shapes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.neural.seq2seq import Seq2SeqModel
+from repro.neural.syntaxnet import SyntaxAwareModel
+from repro.nlp.vocab import Vocab
+
+_MODEL_CLASSES = {
+    "Seq2SeqModel": Seq2SeqModel,
+    "SyntaxAwareModel": SyntaxAwareModel,
+}
+
+
+def save_model(model: Seq2SeqModel, path: str | Path) -> None:
+    """Persist a fitted model to ``path`` (.npz) + ``path``.json."""
+    if not getattr(model, "_fitted", False):
+        raise ModelError("cannot save an unfitted model")
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for layer_index, layer in enumerate(model.layers):
+        for name, param in layer.params.items():
+            arrays[f"layer{layer_index}.{name}"] = param
+    np.savez_compressed(path, **arrays)
+    meta = {
+        "class": type(model).__name__,
+        "hyperparameters": {
+            "embed_dim": model.embed_dim,
+            "hidden_dim": model.hidden_dim,
+            "epochs": model.epochs,
+            "batch_size": model.batch_size,
+            "lr": model.lr,
+            "max_decode_len": model.max_decode_len,
+            "seed": model.seed,
+            "beam_size": model.beam_size,
+        },
+        "src_vocab": model.src_vocab.to_dict(),
+        "tgt_vocab": model.tgt_vocab.to_dict(),
+        "loss_history": model.loss_history,
+    }
+    meta_path = path.with_suffix(path.suffix + ".json")
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle)
+
+
+def load_model(path: str | Path) -> Seq2SeqModel:
+    """Restore a model saved with :func:`save_model`."""
+    path = Path(path)
+    meta_path = path.with_suffix(path.suffix + ".json")
+    if not meta_path.exists():
+        raise ModelError(f"missing checkpoint metadata {meta_path}")
+    with open(meta_path, encoding="utf-8") as handle:
+        meta = json.load(handle)
+    model_cls = _MODEL_CLASSES.get(meta["class"])
+    if model_cls is None:
+        raise ModelError(f"unknown model class {meta['class']!r}")
+    model = model_cls(**meta["hyperparameters"])
+    model.src_vocab = Vocab.from_dict(meta["src_vocab"])
+    model.tgt_vocab = Vocab.from_dict(meta["tgt_vocab"])
+    rng = np.random.default_rng(model.seed)
+    model._build_network(rng)
+    archive_path = path if path.exists() else path.with_suffix(".npz")
+    with np.load(archive_path) as archive:
+        for layer_index, layer in enumerate(model.layers):
+            for name in layer.params:
+                layer.params[name][...] = archive[f"layer{layer_index}.{name}"]
+    model.loss_history = list(meta.get("loss_history", []))
+    model._fitted = True
+    if isinstance(model, SyntaxAwareModel):
+        from repro.neural.grammar import GrammarMask
+
+        model._grammar_mask = GrammarMask(model.tgt_vocab)
+    return model

@@ -1,0 +1,212 @@
+"""Cross-domain schema generalization (SyntaxSQLNet's schema encoding).
+
+Models like SyntaxSQLNet translate questions about *unseen* databases
+by encoding the target schema as part of the input instead of baking
+schema tokens into the output vocabulary.  Our CPU-scale equivalent is
+schema-slot anonymization: every schema element gets a positional slot
+token (``tbl0``, ``col3``, …), training pairs are rewritten into slot
+space using their schema, and decoded SQL is mapped back through the
+*test* schema's slot table.
+
+Only exact (lemmatized) element *names* are anonymized in the NL —
+synonyms and domain phrases are left verbatim.  This is what preserves
+the paper's DBPal (Full) effect: schema-specific synonym knowledge
+("seats" → the capacity column of the flights schema) can only be
+learned from training data generated *for that schema*, exactly as in
+§6.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.templates import TrainingPair
+from repro.errors import ModelError
+from repro.neural.base import TranslationModel, safe_sql_tokens, tokens_to_sql
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.tokenizer import tokenize
+from repro.schema.schema import Schema
+from repro.sql.ast import JOIN_PLACEHOLDER
+
+
+class SchemaMap:
+    """Bidirectional schema-element <-> slot-token mapping for one schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._table_slot: dict[str, str] = {}
+        self._column_slot: dict[str, str] = {}
+        for index, name in enumerate(sorted(schema.table_names)):
+            self._table_slot[name] = f"tbl{index}"
+        columns = sorted({c.name for t in schema.tables for c in t.columns})
+        for index, name in enumerate(columns):
+            self._column_slot[name] = f"col{index}"
+        self._slot_table = {v: k for k, v in self._table_slot.items()}
+        self._slot_column = {v: k for k, v in self._column_slot.items()}
+        # NL phrase (lemmatized element name) -> slot, longest-first.
+        self._nl_phrases: list[tuple[tuple[str, ...], str]] = []
+        for name, slot in self._table_slot.items():
+            self._nl_phrases.append((tuple(lemmatize(name.replace("_", " ")).split()), slot))
+        for name, slot in self._column_slot.items():
+            self._nl_phrases.append((tuple(lemmatize(name.replace("_", " ")).split()), slot))
+        self._nl_phrases.sort(key=lambda entry: -len(entry[0]))
+
+    # -- SQL side --------------------------------------------------------
+
+    def sql_tokens_to_slots(self, tokens: list[str]) -> list[str]:
+        out = []
+        for token in tokens:
+            if token.startswith("@") and token != JOIN_PLACEHOLDER:
+                out.append(self._placeholder_to_slots(token))
+            elif token in self._table_slot:
+                out.append(self._table_slot[token])
+            elif token in self._column_slot:
+                out.append(self._column_slot[token])
+            else:
+                out.append(token)
+        return out
+
+    def sql_tokens_from_slots(self, tokens: list[str]) -> list[str]:
+        out = []
+        for token in tokens:
+            if token.startswith("@") and token != JOIN_PLACEHOLDER:
+                out.append(self._placeholder_from_slots(token))
+            elif token in self._slot_table:
+                out.append(self._slot_table[token])
+            elif token in self._slot_column:
+                out.append(self._slot_column[token])
+            else:
+                out.append(token)
+        return out
+
+    def _placeholder_to_slots(self, token: str) -> str:
+        segments = token[1:].lower().split(".")
+        mapped = []
+        for segment in segments:
+            if segment in self._table_slot:
+                mapped.append(self._table_slot[segment].upper())
+            elif segment in self._column_slot:
+                mapped.append(self._column_slot[segment].upper())
+            else:
+                mapped.append(segment.upper())
+        return "@" + ".".join(mapped)
+
+    def _placeholder_from_slots(self, token: str) -> str:
+        segments = token[1:].lower().split(".")
+        mapped = []
+        for segment in segments:
+            if segment in self._slot_table:
+                mapped.append(self._slot_table[segment].upper())
+            elif segment in self._slot_column:
+                mapped.append(self._slot_column[segment].upper())
+            else:
+                mapped.append(segment.upper())
+        return "@" + ".".join(mapped)
+
+    # -- NL side ---------------------------------------------------------
+
+    def nl_to_slots(self, nl: str) -> str:
+        """Replace exact element-name mentions (and placeholders) by slots."""
+        tokens = tokenize(nl)
+        tokens = [
+            self._placeholder_to_slots(t) if t.startswith("@") and t != JOIN_PLACEHOLDER else t
+            for t in tokens
+        ]
+        out: list[str] = []
+        position = 0
+        while position < len(tokens):
+            matched = False
+            for phrase, slot in self._nl_phrases:
+                size = len(phrase)
+                if tuple(tokens[position : position + size]) == phrase:
+                    out.append(slot)
+                    position += size
+                    matched = True
+                    break
+            if not matched:
+                out.append(tokens[position])
+                position += 1
+        return " ".join(out)
+
+
+class CrossDomainModel(TranslationModel):
+    """Schema-slot wrapper around any inner token-level translator.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped model (typically :class:`Seq2SeqModel` or
+        :class:`SyntaxAwareModel`).
+    schemas:
+        Every schema that can occur in training pairs or at inference
+        time (slot tables are precomputed per schema).
+    default_schema:
+        Optional schema assumed by :meth:`translate` when the caller
+        cannot supply one (single-database deployments).
+    """
+
+    def __init__(
+        self,
+        inner,
+        schemas: Sequence[Schema],
+        default_schema: Schema | None = None,
+    ) -> None:
+        self.inner = inner
+        self._maps = {schema.name: SchemaMap(schema) for schema in schemas}
+        self._default = default_schema
+
+    def map_for(self, schema: Schema | str) -> SchemaMap:
+        name = schema if isinstance(schema, str) else schema.name
+        schema_map = self._maps.get(name)
+        if schema_map is None:
+            if isinstance(schema, Schema):
+                schema_map = SchemaMap(schema)
+                self._maps[name] = schema_map
+            else:
+                raise ModelError(f"unknown schema {name!r}")
+        return schema_map
+
+    # ------------------------------------------------------------------
+
+    def fit(self, pairs: Sequence[TrainingPair], **kwargs) -> None:
+        anonymized: list[TrainingPair] = []
+        for pair in pairs:
+            schema_map = self._maps.get(pair.schema_name)
+            if schema_map is None:
+                continue
+            tokens = safe_sql_tokens(pair.sql_text)
+            if tokens is None:
+                continue
+            slot_sql = tokens_to_sql(schema_map.sql_tokens_to_slots(tokens))
+            from repro.sql.parser import try_parse
+
+            slot_query = try_parse(slot_sql)
+            if slot_query is None:
+                continue
+            anonymized.append(
+                TrainingPair(
+                    nl=schema_map.nl_to_slots(pair.nl),
+                    sql=slot_query,
+                    template_id=pair.template_id,
+                    family=pair.family,
+                    schema_name=pair.schema_name,
+                    augmentation=pair.augmentation,
+                )
+            )
+        self.inner.fit(anonymized, **kwargs)
+
+    def translate(self, nl: str) -> str | None:
+        if self._default is None:
+            raise ModelError(
+                "CrossDomainModel.translate needs a default schema; "
+                "use translate_for_schema(nl, schema)"
+            )
+        return self.translate_for_schema(nl, self._default)
+
+    def translate_for_schema(self, nl: str, schema: Schema | str) -> str | None:
+        schema_map = self.map_for(schema)
+        raw = self.inner.translate(schema_map.nl_to_slots(nl))
+        if raw is None:
+            return None
+        tokens = raw.split()
+        return tokens_to_sql(schema_map.sql_tokens_from_slots(tokens))

@@ -1,0 +1,68 @@
+"""Optimizers for the numpy layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neural.layers import Layer
+
+
+class Adam:
+    """Adam with optional global-norm gradient clipping."""
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        lr: float = 2e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip_norm: float = 5.0,
+    ) -> None:
+        self.layers = layers
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._step = 0
+        self._m = [
+            {name: np.zeros_like(p) for name, p in layer.params.items()}
+            for layer in layers
+        ]
+        self._v = [
+            {name: np.zeros_like(p) for name, p in layer.params.items()}
+            for layer in layers
+        ]
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def _global_norm(self) -> float:
+        total = 0.0
+        for layer in self.layers:
+            for grad in layer.grads.values():
+                total += float((grad * grad).sum())
+        return float(np.sqrt(total))
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._step += 1
+        scale = 1.0
+        if self.clip_norm > 0:
+            norm = self._global_norm()
+            if norm > self.clip_norm:
+                scale = self.clip_norm / (norm + 1e-12)
+        bias1 = 1.0 - self.beta1**self._step
+        bias2 = 1.0 - self.beta2**self._step
+        for layer, m_state, v_state in zip(self.layers, self._m, self._v):
+            for name, param in layer.params.items():
+                grad = layer.grads[name] * scale
+                m = m_state[name]
+                v = v_state[name]
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad * grad
+                param -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

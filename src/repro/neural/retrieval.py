@@ -1,0 +1,59 @@
+"""A deterministic retrieval baseline translator.
+
+Nearest-neighbour translation: return the SQL of the training pair
+whose NL is most similar (token-level Jaccard, tie-broken by insertion
+order).  It trains instantly, which makes it the workhorse for unit
+tests of the pipeline/runtime plumbing, and serves as a sanity-check
+baseline in the benchmarks — a neural model that cannot beat retrieval
+has learned nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.templates import TrainingPair
+from repro.errors import ModelError
+from repro.neural.base import TranslationModel
+from repro.nlp.tokenizer import tokenize
+
+
+class RetrievalModel(TranslationModel):
+    """Jaccard nearest-neighbour NL -> SQL lookup."""
+
+    def __init__(self) -> None:
+        self._examples: list[tuple[frozenset[str], str, str]] = []
+        self._exact: dict[str, str] = {}
+
+    def fit(self, pairs: Sequence[TrainingPair], **kwargs) -> None:
+        if kwargs:
+            raise TypeError(f"unexpected fit arguments: {sorted(kwargs)}")
+        self._examples = []
+        self._exact = {}
+        for pair in pairs:
+            tokens = frozenset(tokenize(pair.nl))
+            self._examples.append((tokens, pair.nl, pair.sql_text))
+            self._exact.setdefault(pair.nl, pair.sql_text)
+        if not self._examples:
+            raise ModelError("cannot fit on an empty training set")
+
+    def translate(self, nl: str) -> str | None:
+        if not self._examples:
+            raise ModelError("translate called before fit")
+        exact = self._exact.get(nl)
+        if exact is not None:
+            return exact
+        query_tokens = frozenset(tokenize(nl))
+        if not query_tokens:
+            return None
+        best_score = -1.0
+        best_sql: str | None = None
+        for tokens, _nl, sql in self._examples:
+            union = len(query_tokens | tokens)
+            if union == 0:
+                continue
+            score = len(query_tokens & tokens) / union
+            if score > best_score:
+                best_score = score
+                best_sql = sql
+        return best_sql

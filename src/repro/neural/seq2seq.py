@@ -1,0 +1,355 @@
+"""A GRU encoder/decoder with dot-product attention, in pure numpy.
+
+This is the generic sequence-to-sequence translation model the paper
+plugs its pipeline into (§3.4 — "existing models, ranging from simple
+seq2seq to more complex ones like SyntaxSQLNet, can be used").  The
+implementation is deliberately self-contained: manual forward and
+backward passes over :mod:`repro.neural.layers`, Adam updates, greedy
+decoding with an optional next-token mask hook (used by the
+grammar-constrained subclass in :mod:`repro.neural.syntaxnet`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.templates import TrainingPair
+from repro.errors import ModelError
+from repro.neural.base import TranslationModel, safe_sql_tokens, tokens_to_sql
+from repro.neural.batching import Batch, iterate_batches, make_batch
+from repro.neural.layers import Dense, Embedding, GRUCell, cross_entropy, softmax
+from repro.neural.optim import Adam
+from repro.nlp.tokenizer import tokenize
+from repro.nlp.vocab import Vocab
+
+#: Hook deciding which target-token ids are allowed next; receives the
+#: decoded prefix (token strings) and the vocabulary, returns a boolean
+#: mask of shape (vocab,) or None for "no constraint".
+NextTokenMask = Callable[[list[str], Vocab], np.ndarray | None]
+
+
+class Seq2SeqModel(TranslationModel):
+    """Attention seq2seq NL -> SQL translator.
+
+    Parameters mirror the usual knobs; defaults are sized for corpora
+    of a few thousand pairs on a laptop CPU.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int = 48,
+        hidden_dim: int = 96,
+        epochs: int = 10,
+        batch_size: int = 64,
+        lr: float = 3e-3,
+        max_decode_len: int = 60,
+        seed: int = 0,
+        min_token_count: int = 1,
+        beam_size: int = 1,
+        verbose: bool = False,
+    ) -> None:
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.max_decode_len = max_decode_len
+        self.seed = seed
+        self.min_token_count = min_token_count
+        self.beam_size = beam_size
+        self.verbose = verbose
+        self.loss_history: list[float] = []
+        self.src_vocab: Vocab | None = None
+        self.tgt_vocab: Vocab | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_network(self, rng: np.random.Generator) -> None:
+        h = self.hidden_dim
+        self.src_emb = Embedding(len(self.src_vocab), self.embed_dim, rng)
+        self.tgt_emb = Embedding(len(self.tgt_vocab), self.embed_dim, rng)
+        self.encoder = GRUCell(self.embed_dim, h, rng)
+        self.decoder = GRUCell(self.embed_dim, h, rng)
+        self.combine = Dense(2 * h, h, rng, activation="tanh")
+        self.out = Dense(h, len(self.tgt_vocab), rng)
+        self.layers = [
+            self.src_emb,
+            self.tgt_emb,
+            self.encoder,
+            self.decoder,
+            self.combine,
+            self.out,
+        ]
+
+    def _init_embeddings(self, rng: np.random.Generator) -> None:
+        """Hook for subclasses to install pre-trained source embeddings."""
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, pairs: Sequence[TrainingPair], **kwargs) -> None:
+        """Train on training pairs; see class docstring for knobs."""
+        epochs = kwargs.pop("epochs", self.epochs)
+        if kwargs:
+            raise TypeError(f"unexpected fit arguments: {sorted(kwargs)}")
+        src_tokens, tgt_tokens = self._tokenize_pairs(pairs)
+        if not src_tokens:
+            raise ModelError("cannot fit on an empty training set")
+        self.src_vocab = Vocab.from_sequences(src_tokens, min_count=self.min_token_count)
+        self.tgt_vocab = Vocab.from_sequences(tgt_tokens, min_count=1)
+        rng = np.random.default_rng(self.seed)
+        self._build_network(rng)
+        self._init_embeddings(rng)
+        optimizer = Adam(self.layers, lr=self.lr)
+        self.loss_history = []
+        for epoch in range(epochs):
+            total_loss = 0.0
+            total_tokens = 0.0
+            for batch in iterate_batches(
+                src_tokens,
+                tgt_tokens,
+                self.src_vocab,
+                self.tgt_vocab,
+                self.batch_size,
+                rng,
+            ):
+                optimizer.zero_grads()
+                loss, tokens = self._train_batch(batch)
+                optimizer.step()
+                total_loss += loss
+                total_tokens += tokens
+            epoch_loss = total_loss / max(total_tokens, 1.0)
+            self.loss_history.append(epoch_loss)
+            if self.verbose:
+                print(f"epoch {epoch + 1}/{epochs}: loss/token = {epoch_loss:.4f}")
+        self._fitted = True
+
+    @staticmethod
+    def _tokenize_pairs(pairs: Sequence[TrainingPair]):
+        src_tokens: list[list[str]] = []
+        tgt_tokens: list[list[str]] = []
+        for pair in pairs:
+            target = safe_sql_tokens(pair.sql_text)
+            if target is None:
+                continue
+            src_tokens.append(tokenize(pair.nl))
+            tgt_tokens.append(target)
+        return src_tokens, tgt_tokens
+
+    # -- forward/backward over one batch --------------------------------
+
+    def _encode(self, src: np.ndarray, src_mask: np.ndarray):
+        """Run the encoder; returns (enc_out (B,Ts,h), final h, caches)."""
+        batch, length = src.shape
+        h = np.zeros((batch, self.hidden_dim))
+        enc_out = np.zeros((batch, length, self.hidden_dim))
+        caches = []
+        embedded = self.src_emb.forward(src)  # (B, Ts, d)
+        for t in range(length):
+            h_new, cache = self.encoder.forward(embedded[:, t, :], h)
+            mask_t = src_mask[:, t : t + 1]
+            h = mask_t * h_new + (1.0 - mask_t) * h
+            enc_out[:, t, :] = h
+            caches.append(cache)
+        return embedded, enc_out, h, caches
+
+    def _attend(self, dec_h: np.ndarray, enc_out: np.ndarray, src_mask: np.ndarray):
+        """Dot attention: (B,h) x (B,Ts,h) -> context (B,h) and weights."""
+        scores = np.einsum("bh,bth->bt", dec_h, enc_out)
+        scores = np.where(src_mask > 0, scores, -1e9)
+        alpha = softmax(scores, axis=-1)
+        context = np.einsum("bt,bth->bh", alpha, enc_out)
+        return context, alpha
+
+    def _train_batch(self, batch: Batch) -> tuple[float, float]:
+        src, src_mask = batch.src, batch.src_mask
+        tgt_in, tgt_out, tgt_mask = batch.tgt_in, batch.tgt_out, batch.tgt_mask
+        batch_size, tgt_len = tgt_in.shape
+
+        embedded_src, enc_out, h_final, enc_caches = self._encode(src, src_mask)
+
+        # Decoder forward with teacher forcing.
+        embedded_tgt = self.tgt_emb.forward(tgt_in)  # (B, Tt, d)
+        h = h_final
+        dec_caches = []
+        step_records = []
+        total_loss = 0.0
+        d_enc_out = np.zeros_like(enc_out)
+        logit_grads = []
+        for t in range(tgt_len):
+            h, cache = self.decoder.forward(embedded_tgt[:, t, :], h)
+            context, alpha = self._attend(h, enc_out, src_mask)
+            concat = np.concatenate([h, context], axis=1)
+            combined, comb_cache = self.combine.forward(concat)
+            logits, out_cache = self.out.forward(combined)
+            loss, dlogits = cross_entropy(logits, tgt_out[:, t], tgt_mask[:, t])
+            total_loss += loss
+            dec_caches.append(cache)
+            step_records.append((alpha, comb_cache, out_cache, h))
+            logit_grads.append(dlogits)
+
+        # Decoder backward (reverse time).
+        dh_next = np.zeros((batch_size, self.hidden_dim))
+        d_embedded_tgt = np.zeros_like(embedded_tgt)
+        for t in range(tgt_len - 1, -1, -1):
+            alpha, comb_cache, out_cache, dec_h = step_records[t]
+            dcombined = self.out.backward(logit_grads[t], out_cache)
+            dconcat = self.combine.backward(dcombined, comb_cache)
+            ddec_h = dconcat[:, : self.hidden_dim].copy()
+            dcontext = dconcat[:, self.hidden_dim :]
+            # context = alpha @ enc_out
+            dalpha = np.einsum("bh,bth->bt", dcontext, enc_out)
+            d_enc_out += alpha[:, :, None] * dcontext[:, None, :]
+            # softmax backward
+            dscores = alpha * (dalpha - (dalpha * alpha).sum(axis=1, keepdims=True))
+            # scores = dec_h . enc_out
+            ddec_h += np.einsum("bt,bth->bh", dscores, enc_out)
+            d_enc_out += dscores[:, :, None] * dec_h[:, None, :]
+            ddec_h += dh_next
+            dx, dh_next = self.decoder.backward(ddec_h, dec_caches[t])
+            d_embedded_tgt[:, t, :] = dx
+        self.tgt_emb.backward(tgt_in, d_embedded_tgt)
+
+        # Encoder backward. dh_next is the gradient on the final state.
+        dh = dh_next
+        d_embedded_src = np.zeros_like(embedded_src)
+        src_len = src.shape[1]
+        for t in range(src_len - 1, -1, -1):
+            dh_t = dh + d_enc_out[:, t, :]
+            mask_t = src_mask[:, t : t + 1]
+            dh_new = mask_t * dh_t
+            dx, dh_prev = self.encoder.backward(dh_new, enc_caches[t])
+            d_embedded_src[:, t, :] = dx
+            dh = dh_prev + (1.0 - mask_t) * dh_t
+        self.src_emb.backward(src, d_embedded_src)
+
+        return total_loss, float(tgt_mask.sum())
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def translate(self, nl: str) -> str | None:
+        tokens = self.translate_tokens(tokenize(nl))
+        if not tokens:
+            return None
+        return tokens_to_sql(tokens)
+
+    def translate_tokens(
+        self, src_tokens: list[str], next_token_mask: NextTokenMask | None = None
+    ) -> list[str]:
+        """Decode; greedy by default, beam search when ``beam_size > 1``.
+
+        Optionally constrained step-by-step by a next-token mask.
+        """
+        if not self._fitted:
+            raise ModelError("translate called before fit")
+        if not src_tokens:
+            return []
+        if next_token_mask is None:
+            next_token_mask = self._next_token_mask
+        if self.beam_size > 1:
+            return self._beam_decode(src_tokens, next_token_mask)
+        batch = make_batch([src_tokens], [[]], self.src_vocab, self.tgt_vocab)
+        _, enc_out, h, _ = self._encode(batch.src, batch.src_mask)
+        src_mask = batch.src_mask
+        prev_id = self.tgt_vocab.bos_id
+        decoded: list[str] = []
+        banned = np.array(
+            [self.tgt_vocab.pad_id, self.tgt_vocab.bos_id, self.tgt_vocab.unk_id]
+        )
+        for _ in range(self.max_decode_len):
+            x = self.tgt_emb.forward(np.array([prev_id]))
+            h, _cache = self.decoder.forward(x, h)
+            context, _alpha = self._attend(h, enc_out, src_mask)
+            combined, _ = self.combine.forward(
+                np.concatenate([h, context], axis=1)
+            )
+            logits, _ = self.out.forward(combined)
+            logits = logits[0]
+            logits[banned] = -np.inf
+            if next_token_mask is not None:
+                mask = next_token_mask(decoded, self.tgt_vocab)
+                if mask is not None and mask.any():
+                    logits = np.where(mask, logits, -np.inf)
+            next_id = int(np.argmax(logits))
+            if next_id == self.tgt_vocab.eos_id:
+                break
+            decoded.append(self.tgt_vocab.token_of(next_id))
+            prev_id = next_id
+        return decoded
+
+    def _next_token_mask(self, decoded: list[str], vocab: Vocab) -> np.ndarray | None:
+        """Subclass hook for constrained decoding (None = unconstrained)."""
+        return None
+
+    # -- beam search -----------------------------------------------------
+
+    def _step_logits(self, prev_id: int, h, enc_out, src_mask):
+        """One decoder step from hidden state ``h``; returns (logits, h')."""
+        x = self.tgt_emb.forward(np.array([prev_id]))
+        h, _cache = self.decoder.forward(x, h)
+        context, _alpha = self._attend(h, enc_out, src_mask)
+        combined, _ = self.combine.forward(np.concatenate([h, context], axis=1))
+        logits, _ = self.out.forward(combined)
+        return logits[0], h
+
+    def _beam_decode(self, src_tokens: list[str], next_token_mask) -> list[str]:
+        """Length-normalized beam search over the target vocabulary."""
+        batch = make_batch([src_tokens], [[]], self.src_vocab, self.tgt_vocab)
+        _, enc_out, h0, _ = self._encode(batch.src, batch.src_mask)
+        src_mask = batch.src_mask
+        banned = np.array(
+            [self.tgt_vocab.pad_id, self.tgt_vocab.bos_id, self.tgt_vocab.unk_id]
+        )
+        # Hypotheses: (log_prob, tokens, prev_id, hidden, finished).
+        beams = [(0.0, [], self.tgt_vocab.bos_id, h0, False)]
+        for _ in range(self.max_decode_len):
+            if all(finished for _, _, _, _, finished in beams):
+                break
+            candidates = []
+            for log_prob, tokens, prev_id, h, finished in beams:
+                if finished:
+                    candidates.append((log_prob, tokens, prev_id, h, True))
+                    continue
+                logits, h_new = self._step_logits(prev_id, h, enc_out, src_mask)
+                logits[banned] = -np.inf
+                if next_token_mask is not None:
+                    mask = next_token_mask(tokens, self.tgt_vocab)
+                    if mask is not None and mask.any():
+                        logits = np.where(mask, logits, -np.inf)
+                log_probs = logits - np.logaddexp.reduce(
+                    logits[np.isfinite(logits)]
+                )
+                top = np.argsort(-logits)[: self.beam_size]
+                for token_id in top:
+                    token_id = int(token_id)
+                    if not np.isfinite(logits[token_id]):
+                        continue
+                    score = log_prob + float(log_probs[token_id])
+                    if token_id == self.tgt_vocab.eos_id:
+                        candidates.append((score, tokens, token_id, h_new, True))
+                    else:
+                        candidates.append(
+                            (
+                                score,
+                                tokens + [self.tgt_vocab.token_of(token_id)],
+                                token_id,
+                                h_new,
+                                False,
+                            )
+                        )
+            # Keep the best hypotheses by length-normalized score.
+            candidates.sort(
+                key=lambda c: -(c[0] / max(len(c[1]), 1))
+            )
+            beams = candidates[: self.beam_size]
+        finished = [b for b in beams if b[4]] or beams
+        best = max(finished, key=lambda c: c[0] / max(len(c[1]), 1))
+        return best[1]

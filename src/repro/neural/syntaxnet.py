@@ -1,0 +1,86 @@
+"""Syntax-aware neural translator (SyntaxSQLNet stand-in).
+
+SyntaxSQLNet [Yu et al. 2018] couples a neural encoder with a decoder
+structured by SQL syntax, on top of pre-trained GloVe embeddings.  Our
+stand-in (DESIGN.md substitution #2) keeps both properties in a
+CPU-trainable form:
+
+* the decoder is the attention seq2seq of
+  :mod:`repro.neural.seq2seq`, but every decoding step is constrained
+  by the SQL grammar automaton (:mod:`repro.neural.grammar`) so only
+  structurally valid SQL can be emitted; and
+* the source embedding can be initialized from pre-trained
+  distributional embeddings (:class:`repro.nlp.embeddings.WordEmbeddings`,
+  the GloVe stand-in), which transfers lexical similarity into the
+  encoder just as GloVe does for SyntaxSQLNet.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.templates import TrainingPair
+from repro.neural.grammar import GrammarMask
+from repro.neural.seq2seq import Seq2SeqModel
+from repro.nlp.embeddings import WordEmbeddings
+from repro.nlp.vocab import Vocab
+
+
+class SyntaxAwareModel(Seq2SeqModel):
+    """Seq2seq with grammar-constrained decoding and pre-trained embeddings."""
+
+    def __init__(
+        self,
+        pretrained: WordEmbeddings | None = None,
+        constrained: bool = True,
+        **seq2seq_kwargs,
+    ) -> None:
+        super().__init__(**seq2seq_kwargs)
+        self._pretrained = pretrained
+        self._constrained = constrained
+        self._grammar_mask: GrammarMask | None = None
+
+    def fit(self, pairs: Sequence[TrainingPair], **kwargs) -> None:
+        super().fit(pairs, **kwargs)
+        self._grammar_mask = GrammarMask(self.tgt_vocab) if self._constrained else None
+
+    def _init_embeddings(self, rng: np.random.Generator) -> None:
+        if self._pretrained is None:
+            return
+        dim = min(self._pretrained.dim, self.embed_dim)
+        rows = np.zeros((len(self.src_vocab), dim))
+        found = 0
+        for index, token in enumerate(self.src_vocab.tokens):
+            vec = self._pretrained.vector(token)
+            if np.any(vec):
+                rows[index] = vec[:dim]
+                found += 1
+        if found:
+            # Blend: keep the random init where no pre-trained vector exists.
+            self.src_emb.params["W"][:, :dim] = np.where(
+                np.any(rows, axis=1, keepdims=True),
+                rows,
+                self.src_emb.params["W"][:, :dim],
+            )
+
+    def _next_token_mask(self, decoded: list[str], vocab: Vocab) -> np.ndarray | None:
+        if self._grammar_mask is None:
+            return None
+        return self._grammar_mask.mask_for(decoded)
+
+    def translate(self, nl: str) -> str | None:
+        """Translate; constrained models never return unparseable SQL.
+
+        The grammar mask guarantees every *prefix* is valid, but a
+        decode truncated at ``max_decode_len`` can still be incomplete;
+        such outputs are reported as failures (None) rather than
+        surfaced as malformed SQL.
+        """
+        output = super().translate(nl)
+        if output is None or not self._constrained:
+            return output
+        from repro.sql.parser import try_parse
+
+        return output if try_parse(output) is not None else None

@@ -1,0 +1,60 @@
+"""NLP substrate: tokenizer, lemmatizer, paraphrase database, lexicons."""
+
+from repro.nlp.embeddings import WordEmbeddings
+from repro.nlp.extra_paraphrases import (
+    EXTRA_PARAPHRASE_GROUPS,
+    combined_paraphrase_database,
+)
+from repro.nlp.lemmatizer import lemmatize, lemmatize_tokens, lemmatize_word
+from repro.nlp.pos import DROPPABLE_TAGS, tag, tag_tokens, tag_word
+from repro.nlp.lexicons import (
+    AGGREGATE_PHRASES,
+    COMPARISON_PHRASES,
+    COUNT_QUESTION_PHRASES,
+    DOMAIN_COMPARATIVES,
+    DOMAIN_SUPERLATIVES,
+    FROM_PHRASES,
+    GROUP_PHRASES,
+    SELECT_PHRASES,
+    WHERE_PHRASES,
+    comparative_phrases,
+    superlative_phrases,
+)
+from repro.nlp.ppdb import PARAPHRASE_GROUPS, ParaphraseDatabase, ParaphraseEntry
+from repro.nlp.tokenizer import detokenize, is_placeholder_token, tokenize
+from repro.nlp.vocab import BOS, EOS, PAD, UNK, Vocab
+
+__all__ = [
+    "AGGREGATE_PHRASES",
+    "BOS",
+    "DROPPABLE_TAGS",
+    "EXTRA_PARAPHRASE_GROUPS",
+    "combined_paraphrase_database",
+    "tag",
+    "tag_tokens",
+    "tag_word",
+    "COMPARISON_PHRASES",
+    "COUNT_QUESTION_PHRASES",
+    "DOMAIN_COMPARATIVES",
+    "DOMAIN_SUPERLATIVES",
+    "EOS",
+    "FROM_PHRASES",
+    "GROUP_PHRASES",
+    "PAD",
+    "PARAPHRASE_GROUPS",
+    "ParaphraseDatabase",
+    "ParaphraseEntry",
+    "SELECT_PHRASES",
+    "UNK",
+    "Vocab",
+    "WHERE_PHRASES",
+    "WordEmbeddings",
+    "comparative_phrases",
+    "detokenize",
+    "is_placeholder_token",
+    "lemmatize",
+    "lemmatize_tokens",
+    "lemmatize_word",
+    "superlative_phrases",
+    "tokenize",
+]

@@ -1,0 +1,52 @@
+"""A second paraphrase source (paper §3.2.3 extension).
+
+"One possible avenue is to enhance our automatic paraphrasing using
+other language sources and not only PPDB."  This module provides a
+colloquial-register paraphrase table that can be merged with the main
+synthetic PPDB via :func:`combined_paraphrase_database`, widening the
+augmentation's lexical coverage.
+
+The groups here are deliberately disjoint from both the main PPDB
+groups and the Spider substitute's held-out ``HUMAN_STYLE`` table, so
+enabling the extra source never leaks benchmark test phrasing into
+training (verified by tests).
+"""
+
+from __future__ import annotations
+
+from repro.nlp.ppdb import PARAPHRASE_GROUPS, ParaphraseDatabase
+
+#: Colloquial/informal paraphrase groups.
+EXTRA_PARAPHRASE_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("show me", "pull up", "bring me"),
+    ("list", "run down", "spell out"),
+    ("how many", "how big a number of",),
+    ("average", "middle of the road",),
+    ("maximum", "absolute top",),
+    ("minimum", "rock bottom",),
+    ("greater than", "upwards of", "north of"),
+    ("less than", "short of", "south of"),
+    ("all", "the whole lot of", "the entirety of"),
+    ("sorted by", "lined up according to",),
+    ("count", "add up",),
+    ("patients", "folks in care",),
+    ("expensive", "steep", "high end"),
+    ("cheap", "budget", "low end"),
+    ("big", "oversized",),
+    ("small", "undersized",),
+)
+
+
+def combined_paraphrase_database(
+    noise_rate: float = 0.15, seed: int = 13
+) -> ParaphraseDatabase:
+    """The main PPDB merged with the extra colloquial source.
+
+    Pass the result to :class:`~repro.core.pipeline.TrainingPipeline`
+    (its ``ppdb`` argument) to enable the widened augmentation.
+    """
+    return ParaphraseDatabase(
+        groups=PARAPHRASE_GROUPS + EXTRA_PARAPHRASE_GROUPS,
+        noise_rate=noise_rate,
+        seed=seed,
+    )

@@ -1,0 +1,128 @@
+"""Slot-fill lexicons: the "manually crafted dictionaries of synonymous
+words and phrases" of paper §3.1.
+
+These dictionaries fill the speech-variation slots of the NL templates
+(*SelectPhrase*, *WherePhrase*, ...), verbalize aggregates and
+comparison operators, and provide the comparative/superlative
+dictionaries used by the domain-aware augmentation step (§3.2.3).
+They are schema-independent and reusable across databases, exactly as
+the paper requires of its seed resources.
+"""
+
+from __future__ import annotations
+
+from repro.schema.column import KNOWN_DOMAINS
+from repro.sql.ast import AggFunc, CompOp
+
+#: Phrases that open a data-retrieval command (SelectPhrase slot).
+SELECT_PHRASES = (
+    "show me",
+    "show",
+    "what is",
+    "what are",
+    "list",
+    "give me",
+    "display",
+    "return",
+    "find",
+    "get",
+    "tell me",
+    "retrieve",
+)
+
+#: Phrases introducing a filter (WherePhrase slot).
+WHERE_PHRASES = (
+    "with",
+    "whose",
+    "where",
+    "that have",
+    "having",
+    "for which",
+)
+
+#: Phrases linking attributes to tables (FromPhrase slot).
+FROM_PHRASES = (
+    "of all",
+    "of",
+    "for all",
+    "for",
+    "from",
+    "belonging to",
+)
+
+#: NL verbalizations per aggregate function.
+AGGREGATE_PHRASES: dict[AggFunc, tuple[str, ...]] = {
+    AggFunc.AVG: ("average", "mean"),
+    AggFunc.SUM: ("total", "sum of", "overall"),
+    AggFunc.MIN: ("minimum", "smallest", "lowest"),
+    AggFunc.MAX: ("maximum", "largest", "highest"),
+    AggFunc.COUNT: ("number of", "count of"),
+}
+
+#: Question starters asking for a count.
+COUNT_QUESTION_PHRASES = ("how many", "what number of")
+
+#: NL verbalizations per comparison operator (generic domain).
+COMPARISON_PHRASES: dict[CompOp, tuple[str, ...]] = {
+    CompOp.EQ: ("is", "equals", "equal to", "of", "is exactly"),
+    CompOp.NE: ("is not", "is different from", "other than"),
+    CompOp.GT: ("greater than", "more than", "larger than", "above", "over"),
+    CompOp.GE: ("at least", "no less than", "greater than or equal to"),
+    CompOp.LT: ("less than", "smaller than", "below", "under", "fewer than"),
+    CompOp.LE: ("at most", "no more than", "less than or equal to"),
+}
+
+#: Domain-specific comparative phrases (from the shared domain table):
+#: domain -> {GT: phrase, LT: phrase}, e.g. age -> older than / younger than.
+DOMAIN_COMPARATIVES: dict[str, dict[CompOp, str]] = {
+    domain: {CompOp.GT: greater, CompOp.LT: lesser}
+    for domain, (greater, lesser) in KNOWN_DOMAINS.items()
+}
+
+#: Domain-specific superlative phrases: domain -> (MAX phrase, MIN phrase).
+DOMAIN_SUPERLATIVES: dict[str, tuple[str, str]] = {
+    "age": ("oldest", "youngest"),
+    "height": ("tallest", "shortest"),
+    "length": ("longest", "shortest"),
+    "duration": ("longest", "shortest"),
+    "size": ("largest", "smallest"),
+    "area": ("largest", "smallest"),
+    "population": ("most populous", "least populous"),
+    "price": ("most expensive", "cheapest"),
+    "salary": ("best paid", "worst paid"),
+    "weight": ("heaviest", "lightest"),
+    "speed": ("fastest", "slowest"),
+    "date": ("latest", "earliest"),
+    "count": ("most", "fewest"),
+}
+
+#: Generic superlatives when no domain is known.
+GENERIC_SUPERLATIVES = ("highest", "lowest")
+
+#: Group-by verbalizations (GroupPhrase slot).
+GROUP_PHRASES = ("for each", "per", "grouped by", "broken down by")
+
+#: Order-by verbalizations.
+ORDER_PHRASES_ASC = ("in ascending order of", "from lowest to highest", "sorted by")
+ORDER_PHRASES_DESC = ("in descending order of", "from highest to lowest", "ranked by descending")
+
+#: Existential openers for EXISTS-style nested queries.
+EXIST_PHRASES = ("that appear in", "that are present in", "that occur in")
+
+
+def comparative_phrases(op: CompOp, domain: str = "") -> tuple[str, ...]:
+    """All phrases verbalizing ``op``, domain-specific ones first.
+
+    This implements the §3.2.3 substitution table: for a column whose
+    domain is ``age``, ``GT`` verbalizes as "older than" in addition to
+    the generic "greater than" family.
+    """
+    generic = COMPARISON_PHRASES.get(op, ())
+    domain_map = DOMAIN_COMPARATIVES.get(domain, {})
+    specific = (domain_map[op],) if op in domain_map else ()
+    return specific + generic
+
+
+def superlative_phrases(domain: str = "") -> tuple[str, str]:
+    """(MAX, MIN) superlative phrases for a domain."""
+    return DOMAIN_SUPERLATIVES.get(domain, GENERIC_SUPERLATIVES)

@@ -1,0 +1,122 @@
+"""A rule-based part-of-speech tagger (paper §3.2.3 extension).
+
+The paper's future-work list: "we plan to investigate the idea of using
+an off-the-shelf part-of-speech tagger to annotate each word in a given
+NL query ... to apply the word removal only for certain classes of
+words."  No off-the-shelf tagger is available offline, so this module
+implements a compact lexicon + suffix tagger sufficient for the
+database-question register the pipeline generates.
+
+Tagset (coarse, Universal-POS-inspired): NOUN, VERB, ADJ, ADV, DET,
+ADP (prepositions), PRON, CONJ, AUX, WH, NUM, PUNCT, PLACEHOLDER.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.tokenizer import is_placeholder_token
+
+NOUN = "NOUN"
+VERB = "VERB"
+ADJ = "ADJ"
+ADV = "ADV"
+DET = "DET"
+ADP = "ADP"
+PRON = "PRON"
+CONJ = "CONJ"
+AUX = "AUX"
+WH = "WH"
+NUM = "NUM"
+PUNCT = "PUNCT"
+PLACEHOLDER = "PLACEHOLDER"
+
+_LEXICON: dict[str, str] = {}
+
+
+def _add(tag: str, words: str) -> None:
+    for word in words.split():
+        _LEXICON[word] = tag
+
+
+_add(DET, "the a an this that these those each every all both some any no")
+_add(
+    ADP,
+    "of in on at by with from to for over under above below between "
+    "among per across near within without against during through",
+)
+_add(PRON, "i you he she it we they me him her us them their its his my your our")
+_add(CONJ, "and or but nor so yet")
+_add(AUX, "be is are am was were been being do does did have has had will would can could should may might must")
+_add(WH, "what which who whom whose where when why how")
+_add(
+    VERB,
+    "show display list find get give tell return retrieve count compute "
+    "calculate select choose pick enumerate identify rank sort order "
+    "stay stayed live work cost earn contain include belong exist "
+    "appear occur exceed surpass want need know see make reveal bring "
+    "write hand inform dig presented lay indicate demonstrate showcase",
+)
+_add(
+    ADJ,
+    "average mean total maximum minimum largest smallest highest lowest "
+    "greatest least distinct different unique old young tall short long "
+    "small large big high low great cheap fast slow heavy light new "
+    "recent late early expensive costly inexpensive affordable elevated "
+    "reduced typical usual overall combined peak bottom accumulated "
+    "populous sick lengthy brief huge sizable little tiny",
+)
+_add(ADV, "approximately basically virtually essentially roughly somewhat only also too very most more less")
+
+#: Suffix heuristics, first match wins (checked on unknown words).
+_SUFFIX_RULES: tuple[tuple[str, str], ...] = (
+    ("ly", ADV),
+    ("ing", VERB),
+    ("ed", VERB),
+    ("tion", NOUN),
+    ("ment", NOUN),
+    ("ness", NOUN),
+    ("ity", NOUN),
+    ("ous", ADJ),
+    ("ful", ADJ),
+    ("ive", ADJ),
+    ("ible", ADJ),
+    ("able", ADJ),
+    ("est", ADJ),
+)
+
+
+def tag_word(word: str) -> str:
+    """POS tag of a single token."""
+    if is_placeholder_token(word):
+        return PLACEHOLDER
+    if not word:
+        return PUNCT
+    if word[0].isdigit() or (word[0] == "-" and word[1:2].isdigit()):
+        return NUM
+    if not word[0].isalpha():
+        return PUNCT
+    lowered = word.lower()
+    tag = _LEXICON.get(lowered)
+    if tag is not None:
+        return tag
+    for suffix, suffix_tag in _SUFFIX_RULES:
+        if lowered.endswith(suffix) and len(lowered) > len(suffix) + 2:
+            return suffix_tag
+    return NOUN
+
+
+def tag_tokens(tokens: list[str]) -> list[tuple[str, str]]:
+    """Tag a token sequence; returns (token, tag) pairs."""
+    return [(token, tag_word(token)) for token in tokens]
+
+
+def tag(text: str) -> list[tuple[str, str]]:
+    """Tokenize and tag ``text``."""
+    from repro.nlp.tokenizer import tokenize
+
+    return tag_tokens(tokenize(text))
+
+
+#: Word classes that are safe to drop in the missing-information
+#: augmentation: function words and auxiliaries carry little content,
+#: and verbs/adjectives are the paper's canonical "diagnosed with" case.
+DROPPABLE_TAGS = frozenset({DET, ADP, PRON, AUX, ADV, VERB, ADJ, WH})

@@ -1,0 +1,96 @@
+"""Token vocabulary with special symbols for sequence models."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+PAD = "<pad>"
+BOS = "<bos>"
+EOS = "<eos>"
+UNK = "<unk>"
+
+SPECIALS = (PAD, BOS, EOS, UNK)
+
+
+class Vocab:
+    """A bidirectional token <-> id mapping.
+
+    Ids 0..3 are reserved for PAD/BOS/EOS/UNK; remaining tokens are
+    ordered by descending frequency then alphabetically, which makes
+    vocabularies deterministic for a given corpus.
+    """
+
+    def __init__(self, tokens: Iterable[str] = (), min_count: int = 1) -> None:
+        counts = Counter(tokens)
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        self._itos: list[str] = list(SPECIALS)
+        self._itos.extend(t for t, c in ordered if c >= min_count and t not in SPECIALS)
+        self._stoi = {t: i for i, t in enumerate(self._itos)}
+
+    @classmethod
+    def from_sequences(cls, sequences: Iterable[Iterable[str]], min_count: int = 1) -> "Vocab":
+        """Build a vocabulary from an iterable of token sequences."""
+        return cls((t for seq in sequences for t in seq), min_count=min_count)
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._stoi
+
+    @property
+    def pad_id(self) -> int:
+        return self._stoi[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._stoi[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._stoi[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self._stoi[UNK]
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token`` (UNK id when out of vocabulary)."""
+        return self._stoi.get(token, self._stoi[UNK])
+
+    def token_of(self, index: int) -> str:
+        """Token at ``index``."""
+        return self._itos[index]
+
+    def encode(self, tokens: Iterable[str], add_bos: bool = False, add_eos: bool = False) -> list[int]:
+        """Encode tokens to ids, optionally wrapping with BOS/EOS."""
+        ids = [self.id_of(t) for t in tokens]
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Iterable[int], strip_special: bool = True) -> list[str]:
+        """Decode ids to tokens, optionally dropping special symbols."""
+        tokens = [self._itos[i] for i in ids]
+        if strip_special:
+            tokens = [t for t in tokens if t not in SPECIALS]
+        return tokens
+
+    @property
+    def tokens(self) -> list[str]:
+        """All tokens, id order (includes specials)."""
+        return list(self._itos)
+
+    def to_dict(self) -> dict:
+        """Serializable representation (for checkpoints)."""
+        return {"itos": self._itos}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Vocab":
+        vocab = cls.__new__(cls)
+        vocab._itos = list(payload["itos"])
+        vocab._stoi = {t: i for i, t in enumerate(vocab._itos)}
+        return vocab

@@ -1,0 +1,18 @@
+"""Runtime phase: pre-processing, translation, post-processing, execution."""
+
+from repro.runtime.interface import DBPal, TranslationResult
+from repro.runtime.parameter_handler import AnonymizedQuery, Binding, ParameterHandler
+from repro.runtime.postprocess import PostProcessor, ProcessedQuery
+from repro.runtime.preprocess import PreprocessedQuery, Preprocessor
+
+__all__ = [
+    "AnonymizedQuery",
+    "Binding",
+    "DBPal",
+    "ParameterHandler",
+    "PostProcessor",
+    "PreprocessedQuery",
+    "Preprocessor",
+    "ProcessedQuery",
+    "TranslationResult",
+]

@@ -1,0 +1,121 @@
+"""The end-to-end NLIDB facade (paper Figure 1).
+
+:class:`DBPal` wires the full lifecycle of an NL query: pre-processing
+(parameter handling + lemmatization) → neural translation →
+post-processing (repairs + constant restoration) → execution against
+the DBMS, returning tabular results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import GenerationConfig
+from repro.core.pipeline import TrainingCorpus, TrainingPipeline
+from repro.db.executor import execute
+from repro.db.storage import Database, Row
+from repro.errors import TranslationError
+from repro.neural.base import TranslationModel
+from repro.runtime.postprocess import PostProcessor, ProcessedQuery
+from repro.runtime.preprocess import PreprocessedQuery, Preprocessor
+from repro.sql.ast import Query
+
+
+@dataclass
+class TranslationResult:
+    """Everything produced while translating one NL question."""
+
+    nl: str
+    model_input: str
+    model_output: str | None
+    sql: str | None
+    query: Query | None
+    bindings: list = field(default_factory=list)
+    repaired: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.query is not None
+
+
+class DBPal:
+    """A natural-language interface over one database.
+
+    Parameters
+    ----------
+    database:
+        The target database (schema + sample rows).
+    model:
+        A fitted :class:`~repro.neural.base.TranslationModel`; if
+        omitted, call :meth:`train` first.
+    """
+
+    def __init__(self, database: Database, model: TranslationModel | None = None) -> None:
+        self.database = database
+        self.model = model
+        self.preprocessor = Preprocessor(database)
+        self.postprocessor = PostProcessor(database.schema)
+
+    # ------------------------------------------------------------------
+
+    def train(
+        self,
+        model: TranslationModel,
+        config: GenerationConfig | None = None,
+        manual_pairs=(),
+        seed: int = 0,
+        **fit_kwargs,
+    ) -> TrainingCorpus:
+        """Train ``model`` with DBPal's pipeline on this database's schema."""
+        pipeline = TrainingPipeline(self.database.schema, config=config, seed=seed)
+        corpus = pipeline.train(model, manual_pairs=manual_pairs, **fit_kwargs)
+        self.model = model
+        return corpus
+
+    # ------------------------------------------------------------------
+
+    def translate(self, nl: str) -> TranslationResult:
+        """Translate one NL question to SQL (without executing it)."""
+        if self.model is None:
+            raise TranslationError("no model: train or supply one first")
+        pre: PreprocessedQuery = self.preprocessor.preprocess(nl)
+        model_output = self.model.translate(pre.model_input)
+        processed: ProcessedQuery | None = self.postprocessor.process(
+            model_output, pre.bindings
+        )
+        return TranslationResult(
+            nl=nl,
+            model_input=pre.model_input,
+            model_output=model_output,
+            sql=processed.sql if processed else None,
+            query=processed.query if processed else None,
+            bindings=pre.bindings,
+            repaired=processed.repaired if processed else False,
+        )
+
+    def query(self, nl: str, max_rows: int | None = None) -> list[Row]:
+        """Translate and execute; raises on untranslatable questions."""
+        result = self.translate(nl)
+        if not result.ok:
+            raise TranslationError(
+                f"could not translate {nl!r} (model output: {result.model_output!r})"
+            )
+        return execute(result.query, self.database, max_rows=max_rows)
+
+    def explain(self, nl: str) -> str:
+        """Human-readable trace of the translation pipeline for ``nl``."""
+        result = self.translate(nl)
+        lines = [
+            f"NL question : {result.nl}",
+            f"model input : {result.model_input}",
+            f"model output: {result.model_output}",
+            f"final SQL   : {result.sql}",
+        ]
+        if result.bindings:
+            bound = ", ".join(
+                f"@{b.placeholder}={b.value!r}" for b in result.bindings
+            )
+            lines.insert(2, f"bindings    : {bound}")
+        if result.repaired:
+            lines.append("(post-processor repaired the FROM clause)")
+        return "\n".join(lines)

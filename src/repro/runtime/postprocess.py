@@ -1,0 +1,239 @@
+"""Runtime post-processing (paper §4.2, §5.1).
+
+Three repairs turn raw model output into executable SQL:
+
+1. **@JOIN expansion** — replace the ``@JOIN`` FROM placeholder with
+   the tables referenced by qualified column refs plus the shortest
+   join path connecting them (including intermediate tables), adding
+   the corresponding FK equality conditions to WHERE;
+2. **FROM-clause repair** — when the model emits a column whose table
+   is missing from FROM (e.g. asks for patient names without the
+   patient table), add the missing tables via the shortest join path;
+3. **placeholder restoration** — substitute the constants captured by
+   the parameter handler back into the SQL (the inverse of
+   pre-processing), resolving by exact placeholder name, then by column
+   segment, then positionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.errors import SchemaError
+from repro.runtime.parameter_handler import Binding
+from repro.schema.schema import Schema
+from repro.sql.ast import (
+    And,
+    Between,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    Exists,
+    InPredicate,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Placeholder,
+    Predicate,
+    Query,
+    Subquery,
+    conjoin,
+)
+from repro.sql.parser import try_parse
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class ProcessedQuery:
+    """Result of post-processing one model output."""
+
+    query: Query
+    sql: str
+    repaired: bool = False  # whether JOIN expansion / FROM repair fired
+
+
+class PostProcessor:
+    """Repairs model output and restores constants."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+
+    def process(
+        self, sql_text: str | None, bindings: list[Binding] | tuple = ()
+    ) -> ProcessedQuery | None:
+        """Parse, repair, and bind one model output (None if unparseable)."""
+        if not sql_text:
+            return None
+        query = try_parse(sql_text)
+        if query is None:
+            return None
+        repaired = False
+        try:
+            expanded = self._expand_join(query)
+            expanded = self._repair_from(expanded)
+            repaired = expanded != query
+            query = expanded
+        except SchemaError:
+            # Unrepairable table references: keep the parsed query as-is.
+            pass
+        if bindings:
+            query = _restore_placeholders(query, list(bindings))
+        return ProcessedQuery(query=query, sql=to_sql(query), repaired=repaired)
+
+    # ------------------------------------------------------------------
+    # @JOIN expansion (§5.1)
+    # ------------------------------------------------------------------
+
+    def _expand_join(self, query: Query) -> Query:
+        if not query.uses_join_placeholder:
+            return query
+        referenced = [t for t in query.referenced_tables() if t in self.schema]
+        for placeholder in query.placeholders():
+            table = placeholder.table
+            if table and table in self.schema and table not in referenced:
+                referenced.append(table)
+        if not referenced:
+            raise SchemaError("cannot expand @JOIN: no table-qualified columns")
+        return self._join_and_conditions(query, referenced)
+
+    # ------------------------------------------------------------------
+    # FROM-clause repair (§4.2)
+    # ------------------------------------------------------------------
+
+    def _repair_from(self, query: Query) -> Query:
+        if query.uses_join_placeholder:
+            return query
+        needed = [t for t in query.from_tables if t in self.schema]
+        changed = False
+        for ref in query.column_refs():
+            if ref.table is not None:
+                if ref.table in self.schema and ref.table not in needed:
+                    needed.append(ref.table)
+                    changed = True
+                continue
+            if any(ref.column in self.schema.table(t) for t in needed):
+                continue
+            candidates = self.schema.tables_with_column(ref.column)
+            if candidates and candidates[0].name not in needed:
+                needed.append(candidates[0].name)
+                changed = True
+        if not needed:
+            raise SchemaError("no valid tables referenced")
+        if not changed and tuple(needed) == query.from_tables:
+            return query
+        if len(needed) == 1:
+            return dc_replace(query, from_tables=(needed[0],))
+        return self._join_and_conditions(query, needed)
+
+    def _join_and_conditions(self, query: Query, tables: list[str]) -> Query:
+        """FROM = join closure of ``tables``; WHERE += FK conditions."""
+        all_tables = self.schema.join_tables(tables)
+        conditions: list[Predicate] = [
+            Comparison(
+                ColumnRef(fk.column, table=fk.table),
+                CompOp.EQ,
+                ColumnRef(fk.ref_column, table=fk.ref_table),
+            )
+            for fk in self.schema.join_path(all_tables)
+        ]
+        where = conjoin(
+            ([query.where] if query.where is not None else []) + conditions
+        )
+        return dc_replace(query, from_tables=tuple(all_tables), where=where)
+
+
+# ----------------------------------------------------------------------
+# Placeholder restoration
+# ----------------------------------------------------------------------
+
+
+class _Resolver:
+    """Stateful placeholder -> constant resolution."""
+
+    def __init__(self, bindings: list[Binding]) -> None:
+        self._bindings = bindings
+        self._used = [False] * len(bindings)
+
+    def resolve(self, placeholder: Placeholder):
+        name = placeholder.name.lower()
+        segments = set(name.split("."))
+        # 1. exact full-name match
+        for index, binding in enumerate(self._bindings):
+            if not self._used[index] and binding.placeholder.lower() == name:
+                self._used[index] = True
+                return binding.value
+        # 2. column-segment match
+        for index, binding in enumerate(self._bindings):
+            if self._used[index]:
+                continue
+            if binding.column and binding.column.lower() in segments:
+                self._used[index] = True
+                return binding.value
+            if set(binding.segments) & segments:
+                self._used[index] = True
+                return binding.value
+        # 3. positional fallback
+        for index, binding in enumerate(self._bindings):
+            if not self._used[index]:
+                self._used[index] = True
+                return binding.value
+        return None
+
+
+def _restore_placeholders(query: Query, bindings: list[Binding]) -> Query:
+    resolver = _Resolver(bindings)
+    return _transform_query(query, resolver)
+
+
+def _transform_query(query: Query, resolver: _Resolver) -> Query:
+    where = _transform_pred(query.where, resolver) if query.where else None
+    having = _transform_pred(query.having, resolver) if query.having else None
+    return dc_replace(query, where=where, having=having)
+
+
+def _transform_operand(operand, resolver: _Resolver):
+    if isinstance(operand, Placeholder):
+        value = resolver.resolve(operand)
+        if value is None:
+            return operand  # leave unresolved placeholders visible
+        return Literal(value)
+    if isinstance(operand, Subquery):
+        return Subquery(_transform_query(operand.query, resolver))
+    return operand
+
+
+def _transform_pred(pred: Predicate, resolver: _Resolver) -> Predicate:
+    if isinstance(pred, Comparison):
+        return Comparison(
+            _transform_operand(pred.left, resolver),
+            pred.op,
+            _transform_operand(pred.right, resolver),
+        )
+    if isinstance(pred, Between):
+        return Between(
+            pred.column,
+            _transform_operand(pred.low, resolver),
+            _transform_operand(pred.high, resolver),
+        )
+    if isinstance(pred, InPredicate):
+        subquery = (
+            Subquery(_transform_query(pred.subquery.query, resolver))
+            if pred.subquery is not None
+            else None
+        )
+        values = tuple(_transform_operand(v, resolver) for v in pred.values)
+        return InPredicate(pred.column, values, subquery, pred.negated)
+    if isinstance(pred, Like):
+        return Like(pred.column, _transform_operand(pred.pattern, resolver), pred.negated)
+    if isinstance(pred, Exists):
+        return Exists(Subquery(_transform_query(pred.subquery.query, resolver)), pred.negated)
+    if isinstance(pred, Not):
+        return Not(_transform_pred(pred.operand, resolver))
+    if isinstance(pred, And):
+        return And(tuple(_transform_pred(p, resolver) for p in pred.operands))
+    if isinstance(pred, Or):
+        return Or(tuple(_transform_pred(p, resolver) for p in pred.operands))
+    return pred

@@ -1,0 +1,40 @@
+"""Runtime pre-processing: anonymize, then lemmatize (paper §4.1).
+
+"The same lemmatization is applied at runtime during the ...
+pre-processing step" — so the model sees exactly the token distribution
+it was trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.storage import Database
+from repro.nlp.lemmatizer import lemmatize
+from repro.runtime.parameter_handler import AnonymizedQuery, Binding, ParameterHandler
+
+
+@dataclass
+class PreprocessedQuery:
+    """Output of the pre-processing phase."""
+
+    original_nl: str
+    anonymized_nl: str
+    model_input: str  # anonymized + lemmatized
+    bindings: list[Binding]
+
+
+class Preprocessor:
+    """Parameter handling followed by lemmatization."""
+
+    def __init__(self, database: Database, parameter_handler: ParameterHandler | None = None) -> None:
+        self._handler = parameter_handler or ParameterHandler(database)
+
+    def preprocess(self, nl: str) -> PreprocessedQuery:
+        anonymized: AnonymizedQuery = self._handler.anonymize(nl)
+        return PreprocessedQuery(
+            original_nl=nl,
+            anonymized_nl=anonymized.nl,
+            model_input=lemmatize(anonymized.nl),
+            bindings=anonymized.bindings,
+        )

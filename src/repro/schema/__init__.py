@@ -1,0 +1,27 @@
+"""Relational schema model: tables, columns, foreign keys, join graph."""
+
+from repro.schema.annotations import ColumnAnnotation, TableAnnotation, annotate
+from repro.schema.catalog import SCHEMA_FACTORIES, all_schemas, load_schema, patients_schema
+from repro.schema.column import KNOWN_DOMAINS, Column, ColumnType, date, floating, integer, text
+from repro.schema.schema import Schema
+from repro.schema.table import ForeignKey, Table
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "ColumnAnnotation",
+    "ForeignKey",
+    "KNOWN_DOMAINS",
+    "SCHEMA_FACTORIES",
+    "Schema",
+    "Table",
+    "TableAnnotation",
+    "all_schemas",
+    "annotate",
+    "date",
+    "floating",
+    "integer",
+    "load_schema",
+    "patients_schema",
+    "text",
+]

@@ -1,0 +1,436 @@
+"""Built-in example schemas.
+
+The catalog plays two roles in the reproduction:
+
+* :func:`patients_schema` is the single-table medical schema of the
+  paper's new *Patients* benchmark (§6.2);
+* the remaining schemas form the domain pool for our Spider substitute
+  benchmark (§6.1 substitution documented in DESIGN.md) — diverse
+  domains, multi-table with foreign keys, so the generated workloads
+  exercise joins and the train/test schema split.
+
+All value vocabularies used to populate sample data live in
+:mod:`repro.db.datagen`; here we only define structure and annotations.
+"""
+
+from __future__ import annotations
+
+from repro.schema.column import date, floating, integer, text
+from repro.schema.schema import Schema
+from repro.schema.table import ForeignKey, Table
+
+
+def patients_schema() -> Schema:
+    """The medical schema of the Patients benchmark (paper §6.2.1)."""
+    patient = Table(
+        "patients",
+        [
+            integer("patient_id", primary_key=True, annotation="patient id"),
+            text("name", synonyms=("full name",)),
+            integer("age", domain="age"),
+            text("gender", synonyms=("sex",)),
+            text("diagnosis", synonyms=("disease", "condition")),
+            integer(
+                "length_of_stay",
+                annotation="length of stay",
+                synonyms=("stay", "hospital stay"),
+                domain="duration",
+            ),
+        ],
+        annotation="patient",
+        synonyms=("person", "case"),
+    )
+    return Schema("patients", [patient])
+
+
+def geography_schema() -> Schema:
+    """A GeoQuery-flavoured geography schema (states, cities, mountains, rivers)."""
+    state = Table(
+        "state",
+        [
+            text("state_name", primary_key=True, annotation="state name", synonyms=("name",)),
+            floating("area", domain="area"),
+            integer("population", domain="population"),
+            text("capital"),
+        ],
+        annotation="state",
+    )
+    city = Table(
+        "city",
+        [
+            text("city_name", primary_key=True, annotation="city name", synonyms=("name",)),
+            text("state_name", annotation="state name", synonyms=("state",)),
+            integer("population", domain="population"),
+        ],
+        annotation="city",
+        synonyms=("town",),
+    )
+    mountain = Table(
+        "mountain",
+        [
+            text("mountain_name", primary_key=True, annotation="mountain name", synonyms=("name",)),
+            text("state_name", annotation="state name", synonyms=("state",)),
+            floating("height", domain="height"),
+        ],
+        annotation="mountain",
+        synonyms=("peak",),
+    )
+    river = Table(
+        "river",
+        [
+            text("river_name", primary_key=True, annotation="river name", synonyms=("name",)),
+            text("state_name", annotation="state name", synonyms=("state",)),
+            floating("length", domain="length"),
+        ],
+        annotation="river",
+    )
+    fks = [
+        ForeignKey("city", "state_name", "state", "state_name"),
+        ForeignKey("mountain", "state_name", "state", "state_name"),
+        ForeignKey("river", "state_name", "state", "state_name"),
+    ]
+    return Schema("geography", [state, city, mountain, river], fks)
+
+
+def flights_schema() -> Schema:
+    """Airline flights, airports, and aircraft."""
+    airport = Table(
+        "airport",
+        [
+            text("airport_code", primary_key=True, annotation="airport code", synonyms=("code",)),
+            text("airport_name", annotation="airport name", synonyms=("name",)),
+            text("city"),
+            integer("elevation", domain="height"),
+        ],
+        annotation="airport",
+    )
+    aircraft = Table(
+        "aircraft",
+        [
+            text("aircraft_model", primary_key=True, annotation="aircraft model", synonyms=("model",)),
+            integer("capacity", domain="size", synonyms=("seats",)),
+            integer("range", domain="length"),
+        ],
+        annotation="aircraft",
+        synonyms=("plane", "airplane"),
+    )
+    flight = Table(
+        "flight",
+        [
+            integer("flight_number", primary_key=True, annotation="flight number", synonyms=("number",)),
+            text("origin", annotation="origin", synonyms=("source airport",)),
+            text("destination", synonyms=("target airport",)),
+            text("aircraft_model", annotation="aircraft model", synonyms=("model",)),
+            integer("duration", domain="duration", synonyms=("flight time",)),
+            floating("price", domain="price", synonyms=("fare", "cost")),
+        ],
+        annotation="flight",
+    )
+    fks = [
+        ForeignKey("flight", "origin", "airport", "airport_code"),
+        ForeignKey("flight", "aircraft_model", "aircraft", "aircraft_model"),
+    ]
+    return Schema("flights", [airport, aircraft, flight], fks)
+
+
+def university_schema() -> Schema:
+    """Students, courses, and departments."""
+    department = Table(
+        "department",
+        [
+            text("dept_name", primary_key=True, annotation="department name", synonyms=("name",)),
+            floating("budget", domain="price"),
+            text("building"),
+        ],
+        annotation="department",
+    )
+    student = Table(
+        "student",
+        [
+            integer("student_id", primary_key=True, annotation="student id"),
+            text("name"),
+            integer("age", domain="age"),
+            floating("gpa", annotation="gpa", synonyms=("grade point average",)),
+            text("dept_name", annotation="department name", synonyms=("department", "major")),
+        ],
+        annotation="student",
+    )
+    course = Table(
+        "course",
+        [
+            text("course_id", primary_key=True, annotation="course id"),
+            text("title", synonyms=("name",)),
+            integer("credits", domain="count"),
+            text("dept_name", annotation="department name", synonyms=("department",)),
+        ],
+        annotation="course",
+        synonyms=("class",),
+    )
+    fks = [
+        ForeignKey("student", "dept_name", "department", "dept_name"),
+        ForeignKey("course", "dept_name", "department", "dept_name"),
+    ]
+    return Schema("university", [department, student, course], fks)
+
+
+def retail_schema() -> Schema:
+    """Products, orders, and customers of a web shop."""
+    customer = Table(
+        "customer",
+        [
+            integer("customer_id", primary_key=True, annotation="customer id"),
+            text("name"),
+            text("city"),
+            integer("age", domain="age"),
+        ],
+        annotation="customer",
+        synonyms=("client", "buyer"),
+    )
+    product = Table(
+        "product",
+        [
+            integer("product_id", primary_key=True, annotation="product id"),
+            text("product_name", annotation="product name", synonyms=("name",)),
+            text("category"),
+            floating("price", domain="price", synonyms=("cost",)),
+            integer("stock", domain="count", synonyms=("inventory",)),
+        ],
+        annotation="product",
+        synonyms=("item",),
+    )
+    order = Table(
+        "orders",
+        [
+            integer("order_id", primary_key=True, annotation="order id"),
+            integer("customer_id", annotation="customer id", synonyms=("customer",)),
+            integer("product_id", annotation="product id", synonyms=("product",)),
+            integer("quantity", domain="count", synonyms=("amount",)),
+            date("order_date", annotation="order date", domain="date"),
+        ],
+        annotation="order",
+        synonyms=("purchase",),
+    )
+    fks = [
+        ForeignKey("orders", "customer_id", "customer", "customer_id"),
+        ForeignKey("orders", "product_id", "product", "product_id"),
+    ]
+    return Schema("retail", [customer, product, order], fks)
+
+
+def library_schema() -> Schema:
+    """Books, authors, and loans."""
+    author = Table(
+        "author",
+        [
+            integer("author_id", primary_key=True, annotation="author id"),
+            text("name"),
+            text("country", synonyms=("nationality",)),
+        ],
+        annotation="author",
+        synonyms=("writer",),
+    )
+    book = Table(
+        "book",
+        [
+            integer("book_id", primary_key=True, annotation="book id"),
+            text("title", synonyms=("name",)),
+            integer("author_id", annotation="author id", synonyms=("author",)),
+            integer("year", domain="date", synonyms=("publication year",)),
+            integer("pages", domain="size", synonyms=("page count",)),
+        ],
+        annotation="book",
+    )
+    loan = Table(
+        "loan",
+        [
+            integer("loan_id", primary_key=True, annotation="loan id"),
+            integer("book_id", annotation="book id", synonyms=("book",)),
+            text("member"),
+            integer("days_out", annotation="days out", domain="duration"),
+        ],
+        annotation="loan",
+        synonyms=("checkout",),
+    )
+    fks = [
+        ForeignKey("book", "author_id", "author", "author_id"),
+        ForeignKey("loan", "book_id", "book", "book_id"),
+    ]
+    return Schema("library", [author, book, loan], fks)
+
+
+def restaurants_schema() -> Schema:
+    """Restaurants and their ratings."""
+    restaurant = Table(
+        "restaurant",
+        [
+            integer("restaurant_id", primary_key=True, annotation="restaurant id"),
+            text("name"),
+            text("city"),
+            text("cuisine", synonyms=("food type",)),
+            floating("rating", synonyms=("score", "stars")),
+            floating("avg_price", annotation="average price", domain="price", synonyms=("price",)),
+        ],
+        annotation="restaurant",
+        synonyms=("eatery", "diner"),
+    )
+    review = Table(
+        "review",
+        [
+            integer("review_id", primary_key=True, annotation="review id"),
+            integer("restaurant_id", annotation="restaurant id", synonyms=("restaurant",)),
+            text("reviewer"),
+            floating("stars", synonyms=("rating",)),
+        ],
+        annotation="review",
+    )
+    fks = [ForeignKey("review", "restaurant_id", "restaurant", "restaurant_id")]
+    return Schema("restaurants", [restaurant, review], fks)
+
+
+def movies_schema() -> Schema:
+    """Movies, directors, and box-office figures."""
+    director = Table(
+        "director",
+        [
+            integer("director_id", primary_key=True, annotation="director id"),
+            text("name"),
+            integer("age", domain="age"),
+        ],
+        annotation="director",
+        synonyms=("filmmaker",),
+    )
+    movie = Table(
+        "movie",
+        [
+            integer("movie_id", primary_key=True, annotation="movie id"),
+            text("title", synonyms=("name",)),
+            integer("director_id", annotation="director id", synonyms=("director",)),
+            integer("year", domain="date", synonyms=("release year",)),
+            floating("gross", domain="price", synonyms=("box office", "revenue")),
+            integer("runtime", domain="duration", synonyms=("length", "duration")),
+        ],
+        annotation="movie",
+        synonyms=("film",),
+    )
+    fks = [ForeignKey("movie", "director_id", "director", "director_id")]
+    return Schema("movies", [director, movie], fks)
+
+
+def employees_schema() -> Schema:
+    """A classic HR schema: employees and departments."""
+    department = Table(
+        "department",
+        [
+            integer("dept_id", primary_key=True, annotation="department id"),
+            text("dept_name", annotation="department name", synonyms=("name",)),
+            text("location"),
+        ],
+        annotation="department",
+        synonyms=("division",),
+    )
+    employee = Table(
+        "employee",
+        [
+            integer("emp_id", primary_key=True, annotation="employee id"),
+            text("name"),
+            integer("dept_id", annotation="department id", synonyms=("department",)),
+            floating("salary", domain="salary", synonyms=("pay", "wage")),
+            integer("age", domain="age"),
+            text("title", synonyms=("position", "role")),
+        ],
+        annotation="employee",
+        synonyms=("worker", "staff member"),
+    )
+    fks = [ForeignKey("employee", "dept_id", "department", "dept_id")]
+    return Schema("employees", [department, employee], fks)
+
+
+def automotive_schema() -> Schema:
+    """Cars and manufacturers."""
+    maker = Table(
+        "maker",
+        [
+            integer("maker_id", primary_key=True, annotation="maker id"),
+            text("maker_name", annotation="maker name", synonyms=("name", "manufacturer")),
+            text("country"),
+        ],
+        annotation="maker",
+        synonyms=("manufacturer", "carmaker"),
+    )
+    car = Table(
+        "car",
+        [
+            integer("car_id", primary_key=True, annotation="car id"),
+            text("model"),
+            integer("maker_id", annotation="maker id", synonyms=("maker",)),
+            integer("horsepower", domain="speed", synonyms=("power",)),
+            floating("mpg", annotation="mpg", synonyms=("fuel economy", "miles per gallon")),
+            integer("year", domain="date"),
+            floating("price", domain="price", synonyms=("cost",)),
+        ],
+        annotation="car",
+        synonyms=("automobile", "vehicle"),
+    )
+    fks = [ForeignKey("car", "maker_id", "maker", "maker_id")]
+    return Schema("automotive", [maker, car], fks)
+
+
+def social_schema() -> Schema:
+    """Users and posts of a social network."""
+    user = Table(
+        "users",
+        [
+            integer("user_id", primary_key=True, annotation="user id"),
+            text("username", synonyms=("handle", "name")),
+            integer("followers", domain="count", synonyms=("follower count",)),
+            integer("age", domain="age"),
+            text("city"),
+        ],
+        annotation="user",
+        synonyms=("member", "account"),
+    )
+    post = Table(
+        "post",
+        [
+            integer("post_id", primary_key=True, annotation="post id"),
+            integer("user_id", annotation="user id", synonyms=("user", "author")),
+            integer("likes", domain="count", synonyms=("like count",)),
+            integer("shares", domain="count", synonyms=("share count",)),
+        ],
+        annotation="post",
+        synonyms=("message", "status update"),
+    )
+    fks = [ForeignKey("post", "user_id", "users", "user_id")]
+    return Schema("social", [user, post], fks)
+
+
+#: Factories for every built-in schema, keyed by schema name.
+SCHEMA_FACTORIES = {
+    "patients": patients_schema,
+    "geography": geography_schema,
+    "flights": flights_schema,
+    "university": university_schema,
+    "retail": retail_schema,
+    "library": library_schema,
+    "restaurants": restaurants_schema,
+    "movies": movies_schema,
+    "employees": employees_schema,
+    "automotive": automotive_schema,
+    "social": social_schema,
+}
+
+
+def load_schema(name: str) -> Schema:
+    """Instantiate a built-in schema by name."""
+    try:
+        factory = SCHEMA_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown schema {name!r}; available: {sorted(SCHEMA_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def all_schemas() -> list[Schema]:
+    """Instantiate every built-in schema."""
+    return [factory() for factory in SCHEMA_FACTORIES.values()]

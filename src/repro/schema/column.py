@@ -1,0 +1,130 @@
+"""Column definitions for the relational schema model.
+
+A :class:`Column` carries the information DBPal's generator needs beyond
+what a bare DDL column would provide: a human-readable *annotation* (the
+phrase used when the column is verbalized in natural language), a list of
+synonyms, and a domain hint (e.g. ``"age"``) used by the comparative /
+superlative augmentation step (paper §3.2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the SQL subset."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    DATE = "date"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type support ``<``/``>`` and AVG/SUM."""
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+
+#: Domain hints recognized by the comparative-substitution augmenter.
+#: Maps a domain name to (comparative-greater, comparative-less) phrases.
+KNOWN_DOMAINS = {
+    "age": ("older than", "younger than"),
+    "height": ("taller than", "shorter than"),
+    "length": ("longer than", "shorter than"),
+    "duration": ("longer than", "shorter than"),
+    "size": ("larger than", "smaller than"),
+    "area": ("larger than", "smaller than"),
+    "population": ("more populous than", "less populous than"),
+    "price": ("more expensive than", "cheaper than"),
+    "salary": ("better paid than", "worse paid than"),
+    "weight": ("heavier than", "lighter than"),
+    "speed": ("faster than", "slower than"),
+    "date": ("later than", "earlier than"),
+    "count": ("more than", "fewer than"),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single attribute of a table.
+
+    Parameters
+    ----------
+    name:
+        SQL identifier of the column (lower-case snake case).
+    ctype:
+        Logical type; drives which filter operators and aggregates the
+        generator may instantiate for this column.
+    annotation:
+        Human-readable phrase used in generated NL (defaults to ``name``
+        with underscores replaced by spaces).
+    synonyms:
+        Alternative NL phrases for the column, used by the slot-filling
+        lexicons to diversify generated questions.
+    domain:
+        Optional domain hint (a key of :data:`KNOWN_DOMAINS`) enabling
+        domain-specific comparative phrases such as "older than".
+    primary_key:
+        Whether this column is (part of) the table's primary key.
+    """
+
+    name: str
+    ctype: ColumnType = ColumnType.TEXT
+    annotation: str = ""
+    synonyms: tuple[str, ...] = ()
+    domain: str = ""
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.domain and self.domain not in KNOWN_DOMAINS:
+            raise SchemaError(
+                f"unknown domain {self.domain!r} for column {self.name!r}; "
+                f"known domains: {sorted(KNOWN_DOMAINS)}"
+            )
+        if not self.annotation:
+            object.__setattr__(self, "annotation", self.name.replace("_", " "))
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the column supports numeric comparisons/aggregates."""
+        return self.ctype.is_numeric
+
+    @property
+    def nl_phrases(self) -> tuple[str, ...]:
+        """All NL phrases that may verbalize this column."""
+        return (self.annotation, *self.synonyms)
+
+    @property
+    def placeholder(self) -> str:
+        """The anonymization placeholder for constants of this column.
+
+        Matches the paper's notation, e.g. ``@AGE`` for a column named
+        ``age`` (§3.1).
+        """
+        return "@" + self.name.upper()
+
+
+def integer(name: str, **kwargs) -> Column:
+    """Shorthand for an INTEGER column."""
+    return Column(name, ColumnType.INTEGER, **kwargs)
+
+
+def floating(name: str, **kwargs) -> Column:
+    """Shorthand for a FLOAT column."""
+    return Column(name, ColumnType.FLOAT, **kwargs)
+
+
+def text(name: str, **kwargs) -> Column:
+    """Shorthand for a TEXT column."""
+    return Column(name, ColumnType.TEXT, **kwargs)
+
+
+def date(name: str, **kwargs) -> Column:
+    """Shorthand for a DATE column."""
+    return Column(name, ColumnType.DATE, **kwargs)

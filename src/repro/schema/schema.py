@@ -1,0 +1,178 @@
+"""The :class:`Schema` — tables, foreign keys, and the join graph.
+
+The schema is the *only required input* to DBPal's training pipeline
+(paper §1).  Beyond bookkeeping, it provides the two pieces of schema
+reasoning the paper relies on:
+
+* a *join graph* over tables (nodes are tables, edges are foreign keys),
+  used by the runtime post-processor to expand the ``@JOIN`` placeholder
+  with the shortest join path (§5.1); and
+* column lookup by name across tables, used by the FROM-clause repair
+  step (§4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.errors import SchemaError
+from repro.schema.column import Column
+from repro.schema.table import ForeignKey, Table
+
+
+class Schema:
+    """A relational database schema with NL annotations.
+
+    Parameters
+    ----------
+    name:
+        Identifier for the schema (e.g. ``"patients"``); doubles as the
+        domain name in multi-schema benchmarks.
+    tables:
+        The schema's tables; names must be unique.
+    foreign_keys:
+        Directed FK edges. Both endpoints must exist.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tables: list[Table] | tuple[Table, ...],
+        foreign_keys: list[ForeignKey] | tuple[ForeignKey, ...] = (),
+    ) -> None:
+        if not tables:
+            raise SchemaError(f"schema {name!r} must have at least one table")
+        self.name = name
+        self.tables = tuple(tables)
+        self._by_name = {t.name: t for t in self.tables}
+        if len(self._by_name) != len(self.tables):
+            raise SchemaError(f"duplicate table names in schema {name!r}")
+        self.foreign_keys = tuple(foreign_keys)
+        for fk in self.foreign_keys:
+            for tbl, col in ((fk.table, fk.column), (fk.ref_table, fk.ref_column)):
+                if tbl not in self._by_name:
+                    raise SchemaError(f"foreign key {fk} references unknown table {tbl!r}")
+                if col not in self._by_name[tbl]:
+                    raise SchemaError(f"foreign key {fk} references unknown column {col!r}")
+        self._join_graph = self._build_join_graph()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._by_name
+
+    def __iter__(self):
+        return iter(self.tables)
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, tables={[t.name for t in self.tables]})"
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no table {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.tables)
+
+    def column(self, table_name: str, column_name: str) -> Column:
+        """Return ``table_name.column_name``."""
+        return self.table(table_name).column(column_name)
+
+    def tables_with_column(self, column_name: str) -> tuple[Table, ...]:
+        """All tables containing a column called ``column_name``.
+
+        Used by the FROM-clause repair step: when the model emits a
+        column whose table is missing from the FROM clause, the repair
+        step looks the column up here (§4.2).
+        """
+        return tuple(t for t in self.tables if column_name in t)
+
+    def qualified_columns(self) -> list[tuple[Table, Column]]:
+        """All (table, column) pairs in schema order."""
+        return [(t, c) for t in self.tables for c in t.columns]
+
+    # ------------------------------------------------------------------
+    # Join graph
+    # ------------------------------------------------------------------
+
+    def _build_join_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(self.table_names)
+        for fk in self.foreign_keys:
+            # Keep the FK on the edge so join conditions can be recovered.
+            graph.add_edge(fk.table, fk.ref_table, fk=fk)
+        return graph
+
+    @property
+    def join_graph(self) -> nx.Graph:
+        """The undirected join graph (read-only by convention)."""
+        return self._join_graph
+
+    def join_path(self, tables: list[str] | tuple[str, ...]) -> list[ForeignKey]:
+        """Shortest join path connecting all ``tables``.
+
+        Implements the paper's post-processing rule: "In case multiple
+        join paths are possible ... we select the join path that is
+        minimal in its length" (§5.1).  For two tables this is a plain
+        shortest path; for more, we grow a Steiner-tree-like union of
+        pairwise shortest paths, which is exact for the tree-shaped
+        schemas used in the paper's workloads.
+
+        Returns the FK edges along the path (deduplicated, in discovery
+        order).  Raises :class:`SchemaError` when some tables cannot be
+        connected.
+        """
+        wanted = list(dict.fromkeys(tables))
+        for name in wanted:
+            if name not in self._by_name:
+                raise SchemaError(f"schema {self.name!r} has no table {name!r}")
+        if len(wanted) <= 1:
+            return []
+        edges: list[ForeignKey] = []
+        seen_edges: set[frozenset[str]] = set()
+        connected = {wanted[0]}
+        for target in wanted[1:]:
+            if target in connected:
+                continue
+            path = self._shortest_path_to_set(target, connected)
+            for left, right in itertools.pairwise(path):
+                key = frozenset((left, right))
+                if key not in seen_edges:
+                    seen_edges.add(key)
+                    edges.append(self._join_graph.edges[left, right]["fk"])
+            connected.update(path)
+        return edges
+
+    def _shortest_path_to_set(self, source: str, targets: set[str]) -> list[str]:
+        """Shortest path from ``source`` to any node in ``targets``."""
+        best: list[str] | None = None
+        for target in sorted(targets):
+            try:
+                path = nx.shortest_path(self._join_graph, source, target)
+            except nx.NetworkXNoPath:
+                continue
+            if best is None or len(path) < len(best):
+                best = path
+        if best is None:
+            raise SchemaError(
+                f"no join path connects table {source!r} to {sorted(targets)} "
+                f"in schema {self.name!r}"
+            )
+        return best
+
+    def join_tables(self, tables: list[str] | tuple[str, ...]) -> list[str]:
+        """All tables on the join path (endpoints plus intermediates)."""
+        names = list(dict.fromkeys(tables))
+        for fk in self.join_path(names):
+            for name in (fk.table, fk.ref_table):
+                if name not in names:
+                    names.append(name)
+        return names

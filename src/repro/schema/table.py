@@ -1,0 +1,101 @@
+"""Table and foreign-key definitions for the relational schema model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.schema.column import Column
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A directed foreign-key edge ``table.column -> ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+class Table:
+    """A named collection of columns with optional NL annotations.
+
+    Parameters
+    ----------
+    name:
+        SQL identifier of the table.
+    columns:
+        Ordered column definitions; names must be unique within the table.
+    annotation:
+        Human-readable singular noun phrase for the table (defaults to
+        ``name`` with underscores replaced by spaces).
+    synonyms:
+        Alternative NL phrases for the table.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column] | tuple[Column, ...],
+        annotation: str = "",
+        synonyms: tuple[str, ...] = (),
+    ) -> None:
+        if not name or not name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid table name: {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self.annotation = annotation or name.replace("_", " ")
+        self.synonyms = tuple(synonyms)
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise SchemaError(f"duplicate column names in table {name!r}")
+
+    def __repr__(self) -> str:
+        cols = ", ".join(c.name for c in self.columns)
+        return f"Table({self.name!r}: {cols})"
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._by_name
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def numeric_columns(self) -> tuple[Column, ...]:
+        return tuple(c for c in self.columns if c.is_numeric)
+
+    @property
+    def text_columns(self) -> tuple[Column, ...]:
+        return tuple(c for c in self.columns if not c.is_numeric)
+
+    @property
+    def primary_key(self) -> Column | None:
+        """The first primary-key column, if any."""
+        for column in self.columns:
+            if column.primary_key:
+                return column
+        return None
+
+    @property
+    def nl_phrases(self) -> tuple[str, ...]:
+        """All NL phrases that may verbalize this table."""
+        return (self.annotation, *self.synonyms)

@@ -1,0 +1,115 @@
+"""Spider-style query difficulty classification.
+
+The Spider benchmark assigns each question a difficulty — *easy*,
+*medium*, *hard*, *extra* (the paper calls the last one "very hard") —
+"based on the complexity of the corresponding SQL query (i.e., the
+number of SQL components)" (paper §6.1.1).  We implement the published
+Spider heuristic adapted to our SQL subset so that Table 2's
+per-difficulty breakdown can be reproduced on the Spider substitute.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sql.ast import (
+    JOIN_PLACEHOLDER,
+    Comparison,
+    Exists,
+    InPredicate,
+    Like,
+    Or,
+    Query,
+    conjuncts,
+)
+
+
+class Difficulty(enum.Enum):
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+    VERY_HARD = "very hard"
+
+
+#: Display order used by reports (matches Table 2's column order).
+DIFFICULTY_ORDER = (
+    Difficulty.EASY,
+    Difficulty.MEDIUM,
+    Difficulty.HARD,
+    Difficulty.VERY_HARD,
+)
+
+
+def _count_component1(query: Query) -> int:
+    """WHERE / GROUP BY / ORDER BY / LIMIT / JOIN / OR / LIKE occurrences."""
+    count = 0
+    if query.where is not None:
+        count += 1
+    if query.group_by:
+        count += 1
+    if query.order_by:
+        count += 1
+    if query.limit is not None:
+        count += 1
+    concrete_tables = [t for t in query.from_tables if t != JOIN_PLACEHOLDER]
+    if len(concrete_tables) > 1 or query.uses_join_placeholder:
+        count += 1
+    for pred in query.walk_predicates():
+        if isinstance(pred, Or):
+            count += 1
+        elif isinstance(pred, Like):
+            count += 1
+    return count
+
+
+def _count_component2(query: Query) -> int:
+    """Nested subqueries (we support no set operations)."""
+    return sum(1 for _ in query.walk_subqueries())
+
+
+def _count_others(query: Query) -> int:
+    """Spider's 'other' complexity counters."""
+    count = 0
+    if len(query.aggregates()) > 1:
+        count += 1
+    if len(query.select) > 1:
+        count += 1
+    where_conditions = [
+        pred
+        for pred in conjuncts(query.where)
+        if isinstance(pred, (Comparison, Like, InPredicate, Exists))
+        and not _is_join_condition(pred)
+    ]
+    if len(where_conditions) > 1:
+        count += 1
+    if len(query.group_by) > 1:
+        count += 1
+    return count
+
+
+def _is_join_condition(pred) -> bool:
+    from repro.sql.ast import ColumnRef
+
+    return (
+        isinstance(pred, Comparison)
+        and isinstance(pred.left, ColumnRef)
+        and isinstance(pred.right, ColumnRef)
+    )
+
+
+def classify(query: Query) -> Difficulty:
+    """Assign the Spider difficulty level to ``query``."""
+    comp1 = _count_component1(query)
+    comp2 = _count_component2(query)
+    others = _count_others(query)
+    if comp1 <= 1 and others == 0 and comp2 == 0:
+        return Difficulty.EASY
+    if comp2 == 0 and ((others <= 2 and comp1 <= 1) or (others < 2 and comp1 <= 2)):
+        return Difficulty.MEDIUM
+    if (
+        (comp2 == 0 and others > 2 and comp1 <= 2)
+        or (comp2 == 0 and 2 < comp1 <= 3 and others <= 2)
+        or (comp2 <= 1 and comp1 <= 1 and others == 0)
+    ):
+        return Difficulty.HARD
+    return Difficulty.VERY_HARD

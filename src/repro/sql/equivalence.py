@@ -1,0 +1,81 @@
+"""Semantic equivalence checking for SQL queries.
+
+The Patients benchmark "tests instead for semantic equivalence" (paper
+§6.2.1); the paper manually enumerates equivalent answers and points to
+Cosette as the general tool.  Our stand-in combines two sound-in-
+practice checks:
+
+1. **Canonical-form equality** — normalize both ASTs
+   (:mod:`repro.sql.normalize`) and compare structurally.  This proves
+   equivalence for commutativity, comparison flips, double negation,
+   single-value ``IN``, and redundant qualification.
+2. **Execution equivalence** — execute both queries against one or more
+   sample databases and compare result multisets (order-sensitive only
+   when the queries order their output).  Agreement on all probes is
+   accepted as equivalence; any disagreement is a proof of
+   *non*-equivalence.
+
+Check 2 is a randomized decision procedure: equal outputs on sample
+data do not *prove* equivalence in general, but with adversarial probe
+data generated from the query constants, it matches the manual
+"enumerated equivalent answers" protocol of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ExecutionError, ReproError
+from repro.sql.ast import Query
+from repro.sql.normalize import normalize
+
+
+def structurally_equivalent(left: Query, right: Query) -> bool:
+    """Whether the two queries normalize to the same AST."""
+    return normalize(left) == normalize(right)
+
+
+class EquivalenceChecker:
+    """Decides semantic equivalence using canonical forms and execution.
+
+    Parameters
+    ----------
+    databases:
+        Sample databases (``repro.db.Database``) to probe.  More
+        databases means a sharper execution check.  When empty, only
+        the structural check runs.
+    """
+
+    def __init__(self, databases: Iterable = ()) -> None:
+        self._databases = list(databases)
+
+    def equivalent(self, left: Query, right: Query) -> bool:
+        """Whether ``left`` and ``right`` are semantically equivalent."""
+        if structurally_equivalent(left, right):
+            return True
+        if not self._databases:
+            return False
+        from repro.db.executor import execute  # lazy: db depends on sql
+
+        order_sensitive = bool(left.order_by) and bool(right.order_by)
+        agreed = False
+        for database in self._databases:
+            try:
+                left_rows = execute(left, database)
+                right_rows = execute(right, database)
+            except (ExecutionError, ReproError):
+                # A query outside the executable subset (or referencing
+                # other schemas) cannot be certified by execution.
+                return False
+            if not _results_match(left_rows, right_rows, order_sensitive):
+                return False
+            agreed = True
+        return agreed
+
+
+def _results_match(left_rows, right_rows, order_sensitive: bool) -> bool:
+    left_values = [tuple(row.values()) for row in left_rows]
+    right_values = [tuple(row.values()) for row in right_rows]
+    if order_sensitive:
+        return left_values == right_values
+    return sorted(left_values, key=repr) == sorted(right_values, key=repr)

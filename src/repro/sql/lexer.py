@@ -1,0 +1,135 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat list of :class:`Token` objects.  Keywords are
+case-insensitive; identifiers are lower-cased.  Placeholders follow the
+paper's notation: ``@NAME`` or ``@TABLE.NAME`` (and the special
+``@JOIN`` FROM placeholder).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlLexError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PLACEHOLDER = "placeholder"
+    OP = "op"
+    PUNCT = "punct"
+    STAR = "star"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order limit distinct and or not
+    between in like exists as asc desc count sum avg min max is null
+    """.split()
+)
+
+#: Multi-character operators first so maximal munch works.
+OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">")
+
+PUNCTUATION = frozenset("(),.")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        if self.type is not ttype:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlLexError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        char = sql[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "'":
+            end = pos + 1
+            chunks: list[str] = []
+            while True:
+                if end >= length:
+                    raise SqlLexError("unterminated string literal", pos)
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        chunks.append("'")
+                        end += 2
+                        continue
+                    break
+                chunks.append(sql[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), pos))
+            pos = end + 1
+            continue
+        if char == "@":
+            end = pos + 1
+            while end < length and (sql[end].isalnum() or sql[end] in "_."):
+                end += 1
+            name = sql[pos + 1 : end]
+            if not name:
+                raise SqlLexError("empty placeholder", pos)
+            tokens.append(Token(TokenType.PLACEHOLDER, name, pos))
+            pos = end
+            continue
+        if char.isdigit() or (char == "-" and pos + 1 < length and sql[pos + 1].isdigit()):
+            end = pos + 1
+            seen_dot = False
+            while end < length and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                # A dot must be followed by a digit to be part of the number
+                # (so `1.name` lexes as NUMBER DOT IDENT).
+                if sql[end] == ".":
+                    if end + 1 >= length or not sql[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, sql[pos:end], pos))
+            pos = end
+            continue
+        if char.isalpha() or char == "_":
+            end = pos + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[pos:end].lower()
+            ttype = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(ttype, word, pos))
+            pos = end
+            continue
+        if char == "*":
+            tokens.append(Token(TokenType.STAR, "*", pos))
+            pos += 1
+            continue
+        matched_op = None
+        for op in OPERATORS:
+            if sql.startswith(op, pos):
+                matched_op = op
+                break
+        if matched_op is not None:
+            # Normalize != to the standard <>.
+            value = "<>" if matched_op == "!=" else matched_op
+            tokens.append(Token(TokenType.OP, value, pos))
+            pos += len(matched_op)
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, char, pos))
+            pos += 1
+            continue
+        raise SqlLexError(f"unexpected character {char!r}", pos)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

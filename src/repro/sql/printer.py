@@ -1,0 +1,102 @@
+"""Render SQL ASTs back to canonical SQL text.
+
+The printer is the single source of truth for SQL surface syntax in the
+reproduction: generated training pairs, model outputs, and benchmark
+gold queries are all rendered through :func:`to_sql`, so exact-match
+comparison over printed text is well-defined.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    Aggregate,
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Exists,
+    InPredicate,
+    Like,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    Placeholder,
+    Predicate,
+    Query,
+    Star,
+    Subquery,
+)
+
+
+def to_sql(query: Query) -> str:
+    """Render ``query`` as a single-line SQL string."""
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_item(i) for i in query.select))
+    parts.append("FROM")
+    parts.append(", ".join(query.from_tables))
+    if query.where is not None:
+        parts.append("WHERE")
+        parts.append(_pred(query.where))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(str(c) for c in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING")
+        parts.append(_pred(query.having))
+    if query.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_order(o) for o in query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def _item(item) -> str:
+    if isinstance(item, (ColumnRef, Star, Aggregate)):
+        return str(item)
+    raise TypeError(f"unsupported select item: {item!r}")
+
+
+def _operand(operand) -> str:
+    if isinstance(operand, Subquery):
+        return "(" + to_sql(operand.query) + ")"
+    if isinstance(operand, (ColumnRef, Literal, Placeholder, Aggregate)):
+        return str(operand)
+    raise TypeError(f"unsupported operand: {operand!r}")
+
+
+def _pred(pred: Predicate, parent: str = "") -> str:
+    if isinstance(pred, Comparison):
+        return f"{_operand(pred.left)} {pred.op.value} {_operand(pred.right)}"
+    if isinstance(pred, Between):
+        return f"{pred.column} BETWEEN {_operand(pred.low)} AND {_operand(pred.high)}"
+    if isinstance(pred, InPredicate):
+        neg = "NOT " if pred.negated else ""
+        if pred.subquery is not None:
+            return f"{pred.column} {neg}IN ({to_sql(pred.subquery.query)})"
+        values = ", ".join(_operand(v) for v in pred.values)
+        return f"{pred.column} {neg}IN ({values})"
+    if isinstance(pred, Like):
+        neg = "NOT " if pred.negated else ""
+        return f"{pred.column} {neg}LIKE {_operand(pred.pattern)}"
+    if isinstance(pred, Exists):
+        neg = "NOT " if pred.negated else ""
+        return f"{neg}EXISTS ({to_sql(pred.subquery.query)})"
+    if isinstance(pred, Not):
+        return f"NOT ({_pred(pred.operand)})"
+    if isinstance(pred, And):
+        rendered = " AND ".join(_pred(p, parent="and") for p in pred.operands)
+        return f"({rendered})" if parent == "or" else rendered
+    if isinstance(pred, Or):
+        rendered = " OR ".join(_pred(p, parent="or") for p in pred.operands)
+        # OR binds weaker than AND, so parenthesize inside an AND.
+        return f"({rendered})" if parent == "and" else rendered
+    raise TypeError(f"unsupported predicate: {pred!r}")
+
+
+def _order(item: OrderItem) -> str:
+    direction = " DESC" if item.desc else ""
+    return f"{item.expr}{direction}"

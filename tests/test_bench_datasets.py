@@ -1,0 +1,144 @@
+"""Tests for the benchmark datasets: Patients, Spider substitute, GeoQuery."""
+
+from collections import Counter
+
+from repro.bench import (
+    CATEGORIES,
+    DBPAL_ONLY_KINDS,
+    GEOQUERY_SIZE,
+    HUMAN_STYLE,
+    QUERIES_PER_CATEGORY,
+    SPIDER_COMMON_KINDS,
+    TEST_SCHEMAS,
+    TRAIN_SCHEMAS,
+    build_patients_benchmark,
+    geoquery_workload,
+    humanize,
+    spider_schemas,
+    spider_test_workload,
+    spider_train_pairs,
+)
+from repro.nlp.ppdb import PARAPHRASE_GROUPS
+from repro.sql import Difficulty, try_parse
+
+
+class TestPatientsBenchmark:
+    def test_published_size(self):
+        workload = build_patients_benchmark()
+        assert len(workload) == 399  # 57 per category x 7 categories
+        assert QUERIES_PER_CATEGORY == 57
+
+    def test_category_balance(self):
+        workload = build_patients_benchmark()
+        counts = Counter(item.category for item in workload)
+        assert set(counts) == set(CATEGORIES)
+        assert all(v == 57 for v in counts.values())
+
+    def test_all_gold_sql_parses(self):
+        for item in build_patients_benchmark():
+            assert try_parse(item.sql_text) is not None
+
+    def test_nl_is_pre_anonymized(self):
+        # Filters carry placeholders, never literal constants.
+        for item in build_patients_benchmark():
+            if item.sql.placeholders():
+                assert "@" in item.nl, item.nl
+
+    def test_same_sql_across_categories(self):
+        """The 7 categories are NL variants of the same 57 SQL queries."""
+        workload = build_patients_benchmark()
+        by_source = {}
+        for item in workload:
+            by_source.setdefault((item.source, item.sql_text), set()).add(item.category)
+        for (_source, _sql), categories in by_source.items():
+            assert categories == set(CATEGORIES)
+
+    def test_nl_varies_across_categories(self):
+        workload = build_patients_benchmark()
+        naive = {i.sql_text: i.nl for i in workload if i.category == "naive"}
+        for category in ("syntactic", "lexical", "semantic"):
+            for item in workload.by_category(category):
+                assert item.nl != naive[item.sql_text], (category, item.nl)
+
+    def test_schema_is_patients(self):
+        assert {i.schema_name for i in build_patients_benchmark()} == {"patients"}
+
+    def test_workload_filters(self):
+        workload = build_patients_benchmark()
+        assert len(workload.by_category("naive")) == 57
+        assert workload.categories() == list(CATEGORIES)
+
+
+class TestSpiderSubstitute:
+    def test_schema_split_disjoint(self):
+        assert not set(TRAIN_SCHEMAS) & set(TEST_SCHEMAS)
+        train, test = spider_schemas()
+        assert {s.name for s in train} == set(TRAIN_SCHEMAS)
+        assert {s.name for s in test} == set(TEST_SCHEMAS)
+
+    def test_train_pairs_only_on_train_schemas(self):
+        pairs = spider_train_pairs(pairs_per_schema=30, seed=1)
+        assert {p.schema_name for p in pairs} <= set(TRAIN_SCHEMAS)
+        assert all(p.augmentation == "manual" for p in pairs)
+
+    def test_test_workload_only_on_test_schemas(self):
+        workload = spider_test_workload(items_per_schema=20, seed=2)
+        assert {i.schema_name for i in workload} <= set(TEST_SCHEMAS)
+
+    def test_difficulty_spread(self):
+        workload = spider_test_workload(items_per_schema=24, seed=200)
+        difficulties = {i.difficulty for i in workload}
+        assert Difficulty.EASY in difficulties
+        assert Difficulty.HARD in difficulties or Difficulty.VERY_HARD in difficulties
+
+    def test_source_buckets_populated(self):
+        workload = spider_test_workload(items_per_schema=24, seed=200)
+        sources = Counter(i.source for i in workload)
+        for bucket in ("common", "dbpal-only", "spider-only", "unseen"):
+            assert sources[bucket] > 0, sources
+
+    def test_human_style_disjoint_from_ppdb(self):
+        """The held-out paraphrase table must not leak into the PPDB;
+        otherwise DBPal's augmentation could see the test distribution."""
+        ppdb_phrases = {p for group in PARAPHRASE_GROUPS for p in group}
+        for replacement in HUMAN_STYLE.values():
+            assert replacement not in ppdb_phrases, replacement
+
+    def test_humanize_deterministic(self):
+        import numpy as np
+
+        first = humanize("show me all patients", np.random.default_rng(3))
+        second = humanize("show me all patients", np.random.default_rng(3))
+        assert first == second
+
+    def test_kind_sets_disjoint(self):
+        assert not SPIDER_COMMON_KINDS & DBPAL_ONLY_KINDS
+
+    def test_all_gold_sql_parses(self):
+        for item in spider_test_workload(items_per_schema=12, seed=3):
+            assert try_parse(item.sql_text) is not None
+
+    def test_deterministic(self):
+        first = spider_test_workload(items_per_schema=8, seed=5)
+        second = spider_test_workload(items_per_schema=8, seed=5)
+        assert [(i.nl, i.sql_text) for i in first] == [
+            (i.nl, i.sql_text) for i in second
+        ]
+
+
+class TestGeoQuery:
+    def test_published_size(self):
+        assert GEOQUERY_SIZE == 280
+        assert len(geoquery_workload()) == 280
+
+    def test_geography_domain(self):
+        workload = geoquery_workload(size=40)
+        assert {i.schema_name for i in workload} == {"geography"}
+
+    def test_all_sql_parses(self):
+        for item in geoquery_workload(size=60):
+            assert try_parse(item.sql_text) is not None
+
+    def test_subsample(self):
+        workload = geoquery_workload(size=50)
+        assert len(workload.subsample(10)) == 10

@@ -1,0 +1,99 @@
+"""Tests for workload containers and the public API surface."""
+
+import pytest
+
+from repro.bench import Workload, WorkloadItem
+from repro.sql import Difficulty, parse
+
+
+def make_items():
+    return [
+        WorkloadItem(
+            nl="show all patient",
+            sql=parse("SELECT * FROM patients"),
+            schema_name="patients",
+            category="naive",
+        ),
+        WorkloadItem(
+            nl="count patient per diagnosis",
+            sql=parse("SELECT diagnosis, COUNT(*) FROM patients GROUP BY diagnosis"),
+            schema_name="patients",
+            category="naive",
+        ),
+        WorkloadItem(
+            nl="river of state @STATE_NAME",
+            sql=parse("SELECT river_name FROM river WHERE state_name = @STATE_NAME"),
+            schema_name="geography",
+            category="missing",
+        ),
+    ]
+
+
+class TestWorkloadItem:
+    def test_sql_text(self):
+        assert make_items()[0].sql_text == "SELECT * FROM patients"
+
+    def test_difficulty_computed(self):
+        assert make_items()[0].difficulty is Difficulty.EASY
+        assert make_items()[1].difficulty is Difficulty.MEDIUM
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_items()[0].nl = "x"
+
+
+class TestWorkload:
+    def test_filters(self):
+        workload = Workload("w", make_items())
+        assert len(workload.by_category("naive")) == 2
+        assert len(workload.by_schema("geography")) == 1
+        assert len(workload.by_difficulty(Difficulty.EASY)) == 2
+
+    def test_filter_names(self):
+        workload = Workload("w", make_items())
+        assert workload.by_category("naive").name == "w/naive"
+
+    def test_categories_order_preserving(self):
+        workload = Workload("w", make_items())
+        assert workload.categories() == ["naive", "missing"]
+
+    def test_iteration(self):
+        workload = Workload("w", make_items())
+        assert len(list(workload)) == 3
+
+    def test_subsample_deterministic(self):
+        workload = Workload("w", make_items())
+        first = workload.subsample(2, seed=1)
+        second = workload.subsample(2, seed=1)
+        assert [i.nl for i in first] == [i.nl for i in second]
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro.schema",
+            "repro.sql",
+            "repro.db",
+            "repro.nlp",
+            "repro.core",
+            "repro.neural",
+            "repro.runtime",
+            "repro.eval",
+            "repro.bench",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (module_name, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

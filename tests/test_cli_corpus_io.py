@@ -1,0 +1,136 @@
+"""Tests for corpus serialization and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.corpus_io import load_jsonl, load_tsv, save_jsonl, save_tsv
+from repro.errors import GenerationError
+
+
+class TestCorpusIO:
+    def test_jsonl_roundtrip(self, patients_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(patients_corpus, path)
+        loaded = load_jsonl(path)
+        assert len(loaded) == len(patients_corpus)
+        for original, restored in zip(patients_corpus.pairs, loaded.pairs):
+            assert restored.nl == original.nl
+            assert restored.sql == original.sql
+            assert restored.template_id == original.template_id
+            assert restored.family == original.family
+            assert restored.augmentation == original.augmentation
+
+    def test_tsv_roundtrip_content(self, patients_corpus, tmp_path):
+        path = tmp_path / "corpus.tsv"
+        save_tsv(patients_corpus, path)
+        loaded = load_tsv(path, schema_name="patients")
+        assert len(loaded) == len(patients_corpus)
+        assert loaded.pairs[0].nl == patients_corpus.pairs[0].nl
+        assert loaded.pairs[0].sql == patients_corpus.pairs[0].sql
+
+    def test_invalid_jsonl_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"nl": "x"}\n')
+        with pytest.raises(GenerationError):
+            load_jsonl(path)
+
+    def test_invalid_tsv_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only one column\n")
+        with pytest.raises(GenerationError):
+            load_tsv(path)
+
+    def test_blank_lines_skipped(self, patients_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_jsonl(patients_corpus, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_jsonl(path)) == len(patients_corpus)
+
+
+class TestCli:
+    def test_schemas_command(self, capsys):
+        assert main(["schemas"]) == 0
+        out = capsys.readouterr().out
+        assert "patients" in out and "geography" in out
+
+    def test_generate_command(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "generate",
+                "patients",
+                "--output",
+                str(path),
+                "--size-slotfills",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        loaded = load_jsonl(path)
+        assert len(loaded) > 0
+
+    def test_generate_tsv(self, tmp_path):
+        path = tmp_path / "out.tsv"
+        assert main(
+            [
+                "generate",
+                "patients",
+                "--output",
+                str(path),
+                "--format",
+                "tsv",
+                "--size-slotfills",
+                "2",
+            ]
+        ) == 0
+        assert "\t" in path.read_text().splitlines()[0]
+
+    def test_unknown_schema_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["generate", "nonexistent", "--output", str(tmp_path / "x.jsonl")]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_train_translate_benchmark_cycle(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        code = main(
+            [
+                "train",
+                "patients",
+                "--output",
+                str(checkpoint),
+                "--epochs",
+                "2",
+                "--embed-dim",
+                "16",
+                "--hidden-dim",
+                "24",
+                "--corpus-cap",
+                "300",
+                "--size-slotfills",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert checkpoint.exists()
+
+        code = main(
+            [
+                "translate",
+                "patients",
+                "--checkpoint",
+                str(checkpoint),
+                "--ask",
+                "how many patients are there",
+            ]
+        )
+        assert code == 0
+        assert "SQL:" in capsys.readouterr().out
+
+        code = main(
+            ["benchmark", "--checkpoint", str(checkpoint), "--category", "naive"]
+        )
+        assert code == 0
+        assert "Accuracy" in capsys.readouterr().out

@@ -1,0 +1,160 @@
+"""Tests for the augmentation orchestrator and the end-to-end pipeline."""
+
+import pytest
+
+from repro.core import (
+    Augmenter,
+    GenerationConfig,
+    Generator,
+    TrainingCorpus,
+    TrainingPipeline,
+)
+from repro.core.templates import Family, TrainingPair
+from repro.nlp import ParaphraseDatabase
+from repro.sql import parse, try_parse
+
+
+class TestAugmenter:
+    def test_original_always_first(self, patients):
+        augmenter = Augmenter(patients, GenerationConfig(), seed=0)
+        source = TrainingPair(
+            nl="show the names of all patients with age greater than @AGE",
+            sql=parse("SELECT name FROM patients WHERE age > @AGE"),
+            template_id="t",
+            family=Family.FILTER,
+            schema_name="patients",
+        )
+        variants = augmenter.augment_pair(source)
+        assert variants[0] == source
+
+    def test_grows_training_set(self, patients, small_config):
+        base = Generator(patients, small_config, seed=1).generate()
+        augmented = Augmenter(patients, small_config, seed=1).augment(base)
+        assert len(augmented) > len(base)
+
+    def test_all_augmentation_kinds_present(self, patients):
+        config = GenerationConfig(size_slotfills=6)
+        base = Generator(patients, config, seed=1).generate()
+        augmented = Augmenter(patients, config, seed=1).augment(base)
+        kinds = {p.augmentation for p in augmented}
+        assert {"none", "paraphrase", "dropout", "comparative"} <= kinds
+
+    def test_no_duplicates(self, patients, small_config):
+        base = Generator(patients, small_config, seed=1).generate()
+        augmented = Augmenter(patients, small_config, seed=1).augment(base)
+        keys = [p.key() for p in augmented]
+        assert len(keys) == len(set(keys))
+
+    def test_augmentation_disabled_returns_base(self, patients):
+        config = GenerationConfig(
+            size_slotfills=4, size_para=0, num_para=0, num_missing=0, rand_drop_p=0.0
+        )
+        base = Generator(patients, config, seed=1).generate()
+        augmented = Augmenter(patients, config, seed=1).augment(base)
+        # Only comparatives (independent of those knobs) may add pairs.
+        assert {p.augmentation for p in augmented} <= {"none", "comparative"}
+
+
+class TestTrainingCorpus:
+    def make(self, patients, small_config):
+        return TrainingPipeline(patients, small_config, seed=1).generate()
+
+    def test_family_counts(self, patients_corpus):
+        counts = patients_corpus.family_counts()
+        assert sum(counts.values()) == len(patients_corpus)
+
+    def test_merge_deduplicates(self, patients_corpus):
+        merged = patients_corpus.merged_with(patients_corpus.pairs)
+        assert len(merged) == len(patients_corpus)
+
+    def test_subsample(self, patients_corpus):
+        sample = patients_corpus.subsample(10, seed=0)
+        assert len(sample) == 10
+        assert set(p.key() for p in sample) <= set(
+            p.key() for p in patients_corpus
+        )
+
+    def test_subsample_larger_than_corpus(self, patients_corpus):
+        sample = patients_corpus.subsample(10**9)
+        assert len(sample) == len(patients_corpus)
+
+    def test_split_partitions(self, patients_corpus):
+        train, test = patients_corpus.split(0.25, seed=0)
+        assert len(train) + len(test) == len(patients_corpus)
+        assert abs(len(test) - 0.25 * len(patients_corpus)) <= 1
+        train_keys = {p.key() for p in train}
+        assert not any(p.key() in train_keys for p in test)
+
+
+class TestTrainingPipeline:
+    def test_lemmatized_output(self, patients_corpus):
+        # "patients" should appear lemmatized as "patient" in NL.
+        assert any(" patient " in f" {p.nl} " for p in patients_corpus.pairs)
+        assert not any(" patients " in f" {p.nl} " for p in patients_corpus.pairs)
+
+    def test_lemmatization_can_be_disabled(self, patients, small_config):
+        pipeline = TrainingPipeline(
+            patients, small_config, apply_lemmatizer=False, seed=1
+        )
+        corpus = pipeline.generate()
+        assert any(" patients " in f" {p.nl} " for p in corpus.pairs)
+
+    def test_all_sql_parses(self, patients_corpus):
+        for p in patients_corpus.pairs:
+            assert try_parse(p.sql_text) is not None
+
+    def test_deterministic(self, patients, small_config):
+        first = TrainingPipeline(patients, small_config, seed=7).generate()
+        second = TrainingPipeline(patients, small_config, seed=7).generate()
+        assert [p.key() for p in first.pairs] == [p.key() for p in second.pairs]
+
+    def test_pluggable_model_contract(self, patients, small_config):
+        class SpyModel:
+            def __init__(self):
+                self.fitted_with = None
+
+            def fit(self, pairs, **kwargs):
+                self.fitted_with = list(pairs)
+
+        model = SpyModel()
+        corpus = TrainingPipeline(patients, small_config, seed=1).train(model)
+        assert model.fitted_with is not None
+        assert len(model.fitted_with) == len(corpus)
+
+    def test_manual_pairs_mixed_in(self, patients, small_config):
+        class SpyModel:
+            def fit(self, pairs, **kwargs):
+                self.pairs = list(pairs)
+
+        manual = TrainingPair(
+            nl="Who are the sickest patients?",
+            sql=parse("SELECT name FROM patients ORDER BY length_of_stay DESC"),
+            template_id="manual",
+            family=Family.ORDER,
+            schema_name="patients",
+            augmentation="manual",
+        )
+        model = SpyModel()
+        corpus = TrainingPipeline(patients, small_config, seed=1).train(
+            model, manual_pairs=[manual]
+        )
+        manual_in_corpus = [p for p in corpus.pairs if p.augmentation == "manual"]
+        assert len(manual_in_corpus) == 1
+        # Manual NL is lemmatized like everything else.
+        assert manual_in_corpus[0].nl == "who be the sick patient ?"
+
+    def test_multiple_schemas(self, patients, geography, small_config):
+        corpus = TrainingPipeline(
+            [patients, geography], small_config, seed=1
+        ).generate()
+        assert {p.schema_name for p in corpus.pairs} == {"patients", "geography"}
+
+    def test_custom_ppdb_respected(self, patients):
+        config = GenerationConfig(size_slotfills=3)
+        loud = TrainingPipeline(
+            patients,
+            config,
+            ppdb=ParaphraseDatabase(noise_rate=0.0),
+            seed=1,
+        ).generate()
+        assert len(loud) > 0

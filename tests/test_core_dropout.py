@@ -1,0 +1,77 @@
+"""Tests for the missing-information word dropout (§3.2.2)."""
+
+import numpy as np
+
+from repro.core import GenerationConfig, WordDropout
+from repro.core.templates import Family, TrainingPair
+from repro.sql import parse
+
+
+def pair(nl="show the names of all patients diagnosed with @DIAGNOSIS"):
+    return TrainingPair(
+        nl=nl,
+        sql=parse("SELECT name FROM patients WHERE diagnosis = @DIAGNOSIS"),
+        template_id="t",
+        family=Family.FILTER,
+        schema_name="patients",
+    )
+
+
+def dropout(num_missing=3, rand_drop_p=1.0, seed=0):
+    config = GenerationConfig(num_missing=num_missing, rand_drop_p=rand_drop_p)
+    return WordDropout(config, np.random.default_rng(seed))
+
+
+class TestDrop:
+    def test_produces_duplicates(self):
+        duplicates = dropout().drop(pair())
+        assert duplicates
+        assert all(d.augmentation == "dropout" for d in duplicates)
+
+    def test_words_removed(self):
+        source = pair()
+        for duplicate in dropout().drop(source):
+            assert len(duplicate.nl.split()) < len(source.nl.split())
+
+    def test_placeholders_never_dropped(self):
+        for duplicate in dropout().drop(pair()):
+            assert "@DIAGNOSIS" in duplicate.nl
+
+    def test_sql_unchanged(self):
+        source = pair()
+        for duplicate in dropout().drop(source):
+            assert duplicate.sql == source.sql
+
+    def test_rand_drop_p_zero_disables(self):
+        assert dropout(rand_drop_p=0.0).drop(pair()) == []
+
+    def test_num_missing_zero_disables(self):
+        assert dropout(num_missing=0).drop(pair()) == []
+
+    def test_num_missing_bounds_duplicates(self):
+        assert len(dropout(num_missing=2).drop(pair())) <= 2
+
+    def test_too_short_inputs_skipped(self):
+        short = pair(nl="patients @DIAGNOSIS")
+        assert dropout().drop(short) == []
+
+    def test_attribute_before_placeholder_dropped_sometimes(self):
+        """The §3.2.2 canonical case: the attribute mention in front of a
+        placeholder gets removed ("diagnosed with" -> gone)."""
+        source = pair()
+        seen = set()
+        for seed in range(15):
+            for duplicate in dropout(seed=seed).drop(source):
+                seen.add(duplicate.nl)
+        assert any(
+            "diagnosed" not in nl and "@DIAGNOSIS" in nl for nl in seen
+        )
+
+    def test_deterministic(self):
+        first = [d.nl for d in dropout(seed=4).drop(pair())]
+        second = [d.nl for d in dropout(seed=4).drop(pair())]
+        assert first == second
+
+    def test_no_duplicate_outputs(self):
+        nls = [d.nl for d in dropout(num_missing=5).drop(pair())]
+        assert len(nls) == len(set(nls))

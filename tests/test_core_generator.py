@@ -1,0 +1,121 @@
+"""Tests for the balanced-sampling generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import GenerationConfig, Generator, generate_for_schemas
+from repro.core.templates import Family
+from repro.errors import GenerationError
+from repro.sql import try_parse
+
+
+class TestGenerate:
+    def test_deterministic(self, patients):
+        config = GenerationConfig(size_slotfills=4)
+        first = Generator(patients, config, seed=5).generate()
+        second = Generator(patients, config, seed=5).generate()
+        assert [p.key() for p in first] == [p.key() for p in second]
+
+    def test_seed_changes_output(self, patients):
+        config = GenerationConfig(size_slotfills=4)
+        first = Generator(patients, config, seed=5).generate()
+        second = Generator(patients, config, seed=6).generate()
+        assert [p.key() for p in first] != [p.key() for p in second]
+
+    def test_no_duplicates(self, patients):
+        pairs = Generator(patients, GenerationConfig(size_slotfills=6), seed=1).generate()
+        keys = [p.key() for p in pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_all_sql_parses(self, geography):
+        pairs = Generator(geography, GenerationConfig(size_slotfills=3), seed=2).generate()
+        for pair in pairs:
+            assert try_parse(pair.sql_text) is not None
+
+    def test_placeholders_consistent_between_nl_and_sql(self, patients):
+        pairs = Generator(patients, GenerationConfig(size_slotfills=4), seed=3).generate()
+        for pair in pairs:
+            for placeholder in pair.sql.placeholders():
+                # NL carries the unqualified form of each SQL placeholder.
+                unqualified = "@" + placeholder.name.split(".")[-1] \
+                    if placeholder.table else str(placeholder)
+                names = placeholder.name.upper().split(".")
+                assert any(
+                    token.startswith("@") and token.lstrip("@").split(".")[-1] in names
+                    for token in pair.nl.split()
+                ), (pair.nl, pair.sql_text)
+
+    def test_schema_name_recorded(self, patients):
+        pairs = Generator(patients, GenerationConfig(size_slotfills=2), seed=0).generate()
+        assert all(p.schema_name == "patients" for p in pairs)
+
+
+class TestBalancing:
+    def test_size_slotfills_caps_instances(self, patients):
+        small = Generator(patients, GenerationConfig(size_slotfills=2), seed=1).generate()
+        large = Generator(patients, GenerationConfig(size_slotfills=8), seed=1).generate()
+        assert len(large) > len(small)
+        # The cap holds per template; GROUP BY variants triggered by
+        # groupby_p are attributed to groupby template ids and may
+        # exceed their own cap, so exclude them.
+        counts = Counter(
+            p.template_id
+            for p in small
+            if not p.template_id.startswith(("groupby", "join_groupby"))
+        )
+        assert max(counts.values()) <= 2
+
+    def test_agg_boost_shifts_balance(self, patients):
+        low = Generator(
+            patients, GenerationConfig(size_slotfills=6, agg_boost=0.5, groupby_p=0.0), seed=1
+        ).generate()
+        high = Generator(
+            patients, GenerationConfig(size_slotfills=6, agg_boost=2.0, groupby_p=0.0), seed=1
+        ).generate()
+        low_share = sum(p.family is Family.AGGREGATE for p in low) / len(low)
+        high_share = sum(p.family is Family.AGGREGATE for p in high) / len(high)
+        assert high_share > low_share
+
+    def test_zero_boost_removes_family(self, geography):
+        pairs = Generator(
+            geography,
+            GenerationConfig(size_slotfills=4, join_boost=0.0),
+            seed=1,
+        ).generate()
+        assert not any(p.family is Family.JOIN for p in pairs)
+
+    def test_groupby_p_zero_only_template_groupbys(self, patients):
+        pairs = Generator(
+            patients, GenerationConfig(size_slotfills=4, groupby_p=0.0), seed=1
+        ).generate()
+        groupby = [p for p in pairs if p.family is Family.GROUPBY]
+        # Only instances of dedicated GROUPBY templates remain.
+        assert all(p.template_id.startswith("groupby") for p in groupby)
+
+    def test_groupby_p_one_adds_variants(self, patients):
+        none = Generator(
+            patients, GenerationConfig(size_slotfills=4, groupby_p=0.0), seed=1
+        ).generate()
+        many = Generator(
+            patients, GenerationConfig(size_slotfills=4, groupby_p=1.0), seed=1
+        ).generate()
+        share = lambda pairs: sum(p.family is Family.GROUPBY for p in pairs)
+        assert share(many) > share(none)
+
+
+class TestMultiSchema:
+    def test_generate_for_schemas(self, patients, geography):
+        pairs = generate_for_schemas(
+            [patients, geography], GenerationConfig(size_slotfills=2), seed=0
+        )
+        names = {p.schema_name for p in pairs}
+        assert names == {"patients", "geography"}
+
+    def test_single_table_schema_skips_joins(self, patients):
+        pairs = Generator(patients, GenerationConfig(size_slotfills=4), seed=0).generate()
+        assert not any(p.family is Family.JOIN for p in pairs)
+
+    def test_empty_templates_rejected(self, patients):
+        with pytest.raises(GenerationError):
+            Generator(patients, templates=[])

@@ -1,0 +1,79 @@
+"""Tests for the automatic paraphrasing step (§3.2.1)."""
+
+import numpy as np
+
+from repro.core import GenerationConfig, Paraphraser
+from repro.core.templates import Family, TrainingPair
+from repro.nlp import ParaphraseDatabase
+from repro.sql import parse
+
+
+def pair(nl="show the names of all patients with age @AGE"):
+    return TrainingPair(
+        nl=nl,
+        sql=parse("SELECT name FROM patients WHERE age = @AGE"),
+        template_id="t",
+        family=Family.FILTER,
+        schema_name="patients",
+    )
+
+
+def paraphraser(size_para=2, num_para=3, noise_rate=0.0, seed=0):
+    config = GenerationConfig(size_para=size_para, num_para=num_para)
+    return Paraphraser(
+        ParaphraseDatabase(noise_rate=noise_rate), config, np.random.default_rng(seed)
+    )
+
+
+class TestParaphrase:
+    def test_produces_duplicates(self):
+        duplicates = paraphraser().paraphrase(pair())
+        assert duplicates
+        assert all(d.augmentation == "paraphrase" for d in duplicates)
+
+    def test_sql_unchanged(self):
+        for duplicate in paraphraser().paraphrase(pair()):
+            assert duplicate.sql == pair().sql
+
+    def test_original_not_included(self):
+        nls = {d.nl for d in paraphraser().paraphrase(pair())}
+        assert pair().nl not in nls
+
+    def test_no_duplicate_outputs(self):
+        nls = [d.nl for d in paraphraser().paraphrase(pair())]
+        assert len(nls) == len(set(nls))
+
+    def test_placeholders_never_replaced(self):
+        for duplicate in paraphraser(noise_rate=0.3).paraphrase(pair()):
+            assert "@AGE" in duplicate.nl
+
+    def test_known_substitution_present(self):
+        nls = {d.nl for d in paraphraser().paraphrase(pair())}
+        assert any("display" in nl or "list" in nl for nl in nls)
+
+    def test_size_para_zero_disables(self):
+        assert paraphraser(size_para=0).paraphrase(pair()) == []
+
+    def test_num_para_zero_disables(self):
+        assert paraphraser(num_para=0).paraphrase(pair()) == []
+
+    def test_num_para_limits_per_span(self):
+        few = paraphraser(num_para=1, seed=1).paraphrase(pair())
+        many = paraphraser(num_para=5, seed=1).paraphrase(pair())
+        assert len(many) >= len(few)
+
+    def test_bigram_replacement_with_size_two(self):
+        # "greater than" is a bigram entry in the PPDB.
+        source = pair("patients with age greater than @AGE")
+        nls = {d.nl for d in paraphraser(size_para=2).paraphrase(source)}
+        assert any("more than" in nl for nl in nls)
+
+    def test_size_one_skips_bigrams(self):
+        source = pair("patients with age greater than @AGE")
+        nls = {d.nl for d in paraphraser(size_para=1).paraphrase(source)}
+        assert not any("more than" in nl for nl in nls)
+
+    def test_deterministic_given_seed(self):
+        first = [d.nl for d in paraphraser(seed=9).paraphrase(pair())]
+        second = [d.nl for d in paraphraser(seed=9).paraphrase(pair())]
+        assert first == second

@@ -1,0 +1,159 @@
+"""Tests for the template machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.templates import (
+    Family,
+    FilterSpec,
+    ParaphraseKind,
+    SeedTemplate,
+    TrainingPair,
+    pick_column,
+    pick_filter,
+    pick_table,
+    pluralize,
+    render,
+)
+from repro.errors import TemplateError
+from repro.sql import CompOp, parse
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        "word,plural",
+        [
+            ("patient", "patients"),
+            ("city", "cities"),
+            ("class", "classes"),
+            ("box", "boxes"),
+            ("church", "churches"),
+            ("wish", "wishes"),
+            ("patients", "patients"),  # already plural
+            ("hospital stay", "hospital stays"),  # head noun only
+        ],
+    )
+    def test_examples(self, word, plural):
+        assert pluralize(word) == plural
+
+
+class TestRender:
+    def test_fills_slots(self):
+        assert render("show {x} of {y}", {"x": "a", "y": "b"}) == "show a of b"
+
+    def test_collapses_whitespace(self):
+        assert render("a   {x}  b", {"x": " c "}) == "a c b"
+
+    def test_missing_slot_raises(self):
+        with pytest.raises(TemplateError):
+            render("show {missing}", {})
+
+
+class TestSeedTemplate:
+    def test_requires_slots(self):
+        with pytest.raises(TemplateError):
+            SeedTemplate("t", Family.SELECT, "select_all", "no slots here")
+
+    def test_valid_template(self):
+        template = SeedTemplate(
+            "t", Family.SELECT, "select_all", "{select_phrase} all {table}"
+        )
+        assert template.paraphrase_kind is ParaphraseKind.NAIVE
+
+
+class TestTrainingPair:
+    def make(self):
+        return TrainingPair(
+            nl="show all patients",
+            sql=parse("SELECT * FROM patients"),
+            template_id="t",
+            family=Family.SELECT,
+            schema_name="patients",
+        )
+
+    def test_sql_text(self):
+        assert self.make().sql_text == "SELECT * FROM patients"
+
+    def test_with_nl(self):
+        varied = self.make().with_nl("display all patients", "paraphrase")
+        assert varied.nl == "display all patients"
+        assert varied.augmentation == "paraphrase"
+        assert varied.sql == self.make().sql
+
+    def test_key(self):
+        assert self.make().key() == ("show all patients", "SELECT * FROM patients")
+
+
+class TestPickers:
+    def test_pick_table_uniform_coverage(self, geography):
+        rng = np.random.default_rng(0)
+        seen = {pick_table(geography, rng).name for _ in range(100)}
+        assert seen == set(geography.table_names)
+
+    def test_pick_column_numeric_constraint(self, patients):
+        rng = np.random.default_rng(0)
+        table = patients.table("patients")
+        for _ in range(20):
+            assert pick_column(table, rng, numeric=True).is_numeric
+            assert not pick_column(table, rng, numeric=False).is_numeric
+
+    def test_pick_column_exclusion(self, patients):
+        rng = np.random.default_rng(0)
+        table = patients.table("patients")
+        names = {c.name for c in table.columns if c.name != "age"}
+        for _ in range(20):
+            column = pick_column(table, rng, exclude=("age",))
+            assert column.name in names
+
+    def test_pick_column_avoids_primary_key(self, patients):
+        rng = np.random.default_rng(0)
+        table = patients.table("patients")
+        picks = {pick_column(table, rng).name for _ in range(60)}
+        assert "patient_id" not in picks
+
+    def test_pick_column_none_when_exhausted(self, patients):
+        rng = np.random.default_rng(0)
+        table = patients.table("patients")
+        all_names = tuple(table.column_names)
+        assert pick_column(table, rng, exclude=all_names) is None
+
+
+class TestFilterSpec:
+    def test_sql_and_nl_consistent(self, patients):
+        rng = np.random.default_rng(1)
+        table = patients.table("patients")
+        for _ in range(20):
+            spec = pick_filter(table, rng)
+            comparison = spec.sql()
+            assert comparison.left.column == spec.column.name
+            assert str(spec.nl_placeholder) in spec.nl(rng)
+
+    def test_qualified_spec(self, geography):
+        rng = np.random.default_rng(1)
+        table = geography.table("state")
+        spec = pick_filter(table, rng, qualified=True)
+        assert spec.sql().left.table == "state"
+        assert spec.placeholder.name.startswith("STATE.")
+        # NL side stays unqualified for runtime alignment.
+        assert "." not in str(spec.nl_placeholder)
+
+    def test_text_columns_get_equality(self, patients):
+        rng = np.random.default_rng(2)
+        table = patients.table("patients")
+        ops = {
+            pick_filter(table, rng, numeric=False).op for _ in range(50)
+        }
+        assert ops <= {CompOp.EQ, CompOp.NE}
+
+    def test_numeric_columns_get_comparisons(self, patients):
+        rng = np.random.default_rng(2)
+        table = patients.table("patients")
+        ops = {pick_filter(table, rng, numeric=True).op for _ in range(80)}
+        assert CompOp.GT in ops and CompOp.LT in ops
+
+    def test_domain_phrase_used(self, patients):
+        rng = np.random.default_rng(3)
+        table = patients.table("patients")
+        spec = FilterSpec(table, table.column("age"), CompOp.GT)
+        phrases = {spec.nl(np.random.default_rng(s)) for s in range(30)}
+        assert any("older than" in p for p in phrases)

@@ -1,0 +1,119 @@
+"""Edge-case tests for synthetic data population and the executor."""
+
+import pytest
+
+from repro.db import Database, execute, populate
+from repro.db.datagen import DOMAIN_RANGES, _dependency_order
+from repro.errors import ExecutionError
+from repro.schema import ForeignKey, Schema, Table, floating, integer, text
+from repro.sql import parse
+
+
+class TestDependencyOrder:
+    def test_parents_first(self, geography):
+        order = [t.name for t in _dependency_order(geography)]
+        assert order.index("state") < order.index("city")
+        assert order.index("state") < order.index("mountain")
+
+    def test_chain(self):
+        a = Table("a", [integer("a_id", primary_key=True), integer("b_id")])
+        b = Table("b", [integer("b_id", primary_key=True), integer("c_id")])
+        c = Table("c", [integer("c_id", primary_key=True), text("x")])
+        schema = Schema(
+            "chain",
+            [a, b, c],
+            [ForeignKey("a", "b_id", "b", "b_id"), ForeignKey("b", "c_id", "c", "c_id")],
+        )
+        order = [t.name for t in _dependency_order(schema)]
+        assert order == ["c", "b", "a"]
+
+    def test_cycle_does_not_hang(self):
+        a = Table("a", [integer("a_id", primary_key=True), integer("b_id")])
+        b = Table("b", [integer("b_id", primary_key=True), integer("a_id")])
+        schema = Schema(
+            "cycle",
+            [a, b],
+            [ForeignKey("a", "b_id", "b", "b_id"), ForeignKey("b", "a_id", "a", "a_id")],
+        )
+        order = _dependency_order(schema)
+        assert {t.name for t in order} == {"a", "b"}
+
+
+class TestDomainRanges:
+    def test_float_columns_respect_ranges(self):
+        schema = Schema(
+            "s", [Table("t", [floating("height", domain="height")])]
+        )
+        db = populate(schema, rows_per_table=50, seed=1)
+        low, high = DOMAIN_RANGES["height"]
+        for value in db.column_values("t", "height"):
+            assert low <= value <= high
+
+    def test_rating_columns_bounded(self):
+        schema = Schema("s", [Table("t", [floating("rating")])])
+        db = populate(schema, rows_per_table=30, seed=1)
+        for value in db.column_values("t", "rating"):
+            assert 1.0 <= value <= 5.0
+
+
+class TestExecutorEdgeCases:
+    def test_empty_table(self):
+        schema = Schema("s", [Table("t", [integer("x")])])
+        db = Database(schema)
+        assert execute(parse("SELECT * FROM t"), db) == []
+        assert execute(parse("SELECT COUNT(*) FROM t"), db)[0]["COUNT(*)"] == 0
+        assert execute(parse("SELECT AVG(x) FROM t"), db)[0]["AVG(x)"] is None
+
+    def test_group_by_on_empty_table(self):
+        schema = Schema("s", [Table("t", [integer("x"), text("g")])])
+        db = Database(schema)
+        assert execute(parse("SELECT g, COUNT(*) FROM t GROUP BY g"), db) == []
+
+    def test_scalar_subquery_on_empty_table(self):
+        schema = Schema("s", [Table("t", [integer("x")])])
+        db = Database(schema)
+        rows = execute(
+            parse("SELECT x FROM t WHERE x = (SELECT MAX(x) FROM t)"), db
+        )
+        assert rows == []
+
+    def test_cross_product_guard(self):
+        schema = Schema(
+            "s",
+            [Table("a", [integer("x")]), Table("b", [integer("y")]),
+             Table("c", [integer("z")]), Table("d", [integer("w")])],
+        )
+        db = Database(schema)
+        for table, col in (("a", "x"), ("b", "y"), ("c", "z"), ("d", "w")):
+            db.insert_many(table, [{col: i} for i in range(60)])
+        with pytest.raises(ExecutionError):
+            execute(parse("SELECT * FROM a, b, c, d"), db)
+
+    def test_order_by_mixed_nulls_ascending(self):
+        schema = Schema("s", [Table("t", [integer("x"), text("n")])])
+        db = Database(schema)
+        db.insert_many(
+            "t", [{"x": 2, "n": "b"}, {"x": None, "n": "null"}, {"x": 1, "n": "a"}]
+        )
+        rows = execute(parse("SELECT n FROM t ORDER BY x"), db)
+        assert [r["n"] for r in rows] == ["a", "b", "null"]
+
+    def test_distinct_star(self):
+        schema = Schema("s", [Table("t", [integer("x")])])
+        db = Database(schema)
+        db.insert_many("t", [{"x": 1}, {"x": 1}, {"x": 2}])
+        rows = execute(parse("SELECT DISTINCT * FROM t"), db)
+        assert len(rows) == 2
+
+    def test_having_without_group_by(self):
+        schema = Schema("s", [Table("t", [integer("x")])])
+        db = Database(schema)
+        db.insert_many("t", [{"x": 1}, {"x": 2}])
+        rows = execute(
+            parse("SELECT COUNT(*) FROM t HAVING COUNT(*) > 1"), db
+        )
+        assert rows == [{"COUNT(*)": 2}]
+        rows = execute(
+            parse("SELECT COUNT(*) FROM t HAVING COUNT(*) > 5"), db
+        )
+        assert rows == []

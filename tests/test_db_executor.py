@@ -1,0 +1,288 @@
+"""Tests for the query executor."""
+
+import pytest
+
+from repro.db import Database, execute
+from repro.errors import ExecutionError
+from repro.schema import ForeignKey, Schema, Table, integer, text
+from repro.sql import parse
+
+
+@pytest.fixture()
+def db():
+    schema = Schema(
+        "hospital",
+        [
+            Table(
+                "patients",
+                [
+                    integer("pid", primary_key=True),
+                    text("name"),
+                    integer("age"),
+                    text("diagnosis"),
+                ],
+            ),
+            Table(
+                "visits",
+                [
+                    integer("vid", primary_key=True),
+                    integer("pid"),
+                    integer("cost"),
+                ],
+            ),
+        ],
+        [ForeignKey("visits", "pid", "patients", "pid")],
+    )
+    database = Database(schema)
+    database.insert_many(
+        "patients",
+        [
+            {"pid": 1, "name": "ann", "age": 30, "diagnosis": "flu"},
+            {"pid": 2, "name": "bob", "age": 40, "diagnosis": "flu"},
+            {"pid": 3, "name": "cal", "age": 50, "diagnosis": "cold"},
+            {"pid": 4, "name": "dee", "age": None, "diagnosis": None},
+        ],
+    )
+    database.insert_many(
+        "visits",
+        [
+            {"vid": 1, "pid": 1, "cost": 100},
+            {"vid": 2, "pid": 1, "cost": 200},
+            {"vid": 3, "pid": 3, "cost": 300},
+        ],
+    )
+    return database
+
+
+def run(db, sql):
+    return execute(parse(sql), db)
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, db):
+        rows = run(db, "SELECT * FROM patients")
+        assert len(rows) == 4
+        assert set(rows[0]) == {"pid", "name", "age", "diagnosis"}
+
+    def test_select_columns(self, db):
+        rows = run(db, "SELECT name FROM patients WHERE age > 35")
+        assert [r["name"] for r in rows] == ["bob", "cal"]
+
+    def test_comparison_operators(self, db):
+        assert len(run(db, "SELECT * FROM patients WHERE age >= 40")) == 2
+        assert len(run(db, "SELECT * FROM patients WHERE age <= 30")) == 1
+        assert len(run(db, "SELECT * FROM patients WHERE age <> 30")) == 2
+
+    def test_null_never_matches(self, db):
+        assert len(run(db, "SELECT * FROM patients WHERE age > 0")) == 3
+        assert len(run(db, "SELECT * FROM patients WHERE age < 1000")) == 3
+
+    def test_and_or(self, db):
+        rows = run(
+            db,
+            "SELECT name FROM patients WHERE diagnosis = 'flu' AND age > 35",
+        )
+        assert [r["name"] for r in rows] == ["bob"]
+        rows = run(
+            db,
+            "SELECT name FROM patients WHERE age = 30 OR age = 50",
+        )
+        assert [r["name"] for r in rows] == ["ann", "cal"]
+
+    def test_between(self, db):
+        rows = run(db, "SELECT name FROM patients WHERE age BETWEEN 35 AND 45")
+        assert [r["name"] for r in rows] == ["bob"]
+
+    def test_in_values(self, db):
+        rows = run(db, "SELECT name FROM patients WHERE age IN (30, 50)")
+        assert [r["name"] for r in rows] == ["ann", "cal"]
+
+    def test_not_in(self, db):
+        rows = run(db, "SELECT name FROM patients WHERE age NOT IN (30, 50)")
+        assert [r["name"] for r in rows] == ["bob"]
+
+    def test_like(self, db):
+        assert [
+            r["name"] for r in run(db, "SELECT name FROM patients WHERE name LIKE 'a%'")
+        ] == ["ann"]
+        assert [
+            r["name"]
+            for r in run(db, "SELECT name FROM patients WHERE name LIKE '_ob'")
+        ] == ["bob"]
+
+    def test_distinct(self, db):
+        rows = run(db, "SELECT DISTINCT diagnosis FROM patients WHERE diagnosis = 'flu'")
+        assert len(rows) == 1
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert run(db, "SELECT COUNT(*) FROM patients")[0]["COUNT(*)"] == 4
+
+    def test_avg_skips_nulls(self, db):
+        assert run(db, "SELECT AVG(age) FROM patients")[0]["AVG(age)"] == 40
+
+    def test_min_max_sum(self, db):
+        row = run(db, "SELECT MIN(age), MAX(age), SUM(age) FROM patients")[0]
+        assert row["MIN(age)"] == 30
+        assert row["MAX(age)"] == 50
+        assert row["SUM(age)"] == 120
+
+    def test_count_distinct(self, db):
+        row = run(db, "SELECT COUNT(DISTINCT diagnosis) FROM patients")[0]
+        assert row["COUNT(DISTINCT diagnosis)"] == 2
+
+    def test_empty_group_aggregates(self, db):
+        row = run(db, "SELECT AVG(age) FROM patients WHERE age > 1000")[0]
+        assert row["AVG(age)"] is None
+        row = run(db, "SELECT COUNT(*) FROM patients WHERE age > 1000")[0]
+        assert row["COUNT(*)"] == 0
+
+
+class TestGroupBy:
+    def test_group_counts(self, db):
+        rows = run(db, "SELECT diagnosis, COUNT(*) FROM patients GROUP BY diagnosis")
+        counts = {r["diagnosis"]: r["COUNT(*)"] for r in rows}
+        assert counts == {"flu": 2, "cold": 1, None: 1}
+
+    def test_group_avg(self, db):
+        rows = run(db, "SELECT diagnosis, AVG(age) FROM patients GROUP BY diagnosis")
+        avg = {r["diagnosis"]: r["AVG(age)"] for r in rows}
+        assert avg["flu"] == 35
+
+    def test_having(self, db):
+        rows = run(
+            db,
+            "SELECT diagnosis FROM patients GROUP BY diagnosis HAVING COUNT(*) > 1",
+        )
+        assert [r["diagnosis"] for r in rows] == ["flu"]
+
+    def test_having_avg(self, db):
+        rows = run(
+            db,
+            "SELECT diagnosis FROM patients GROUP BY diagnosis HAVING AVG(age) > 40",
+        )
+        assert [r["diagnosis"] for r in rows] == ["cold"]
+
+    def test_star_with_groupby_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT * FROM patients GROUP BY diagnosis")
+
+
+class TestOrderLimit:
+    def test_order_desc(self, db):
+        rows = run(db, "SELECT name FROM patients WHERE age > 0 ORDER BY age DESC")
+        assert [r["name"] for r in rows] == ["cal", "bob", "ann"]
+
+    def test_order_by_unselected_column(self, db):
+        rows = run(db, "SELECT name FROM patients WHERE age > 0 ORDER BY age")
+        assert [r["name"] for r in rows] == ["ann", "bob", "cal"]
+        assert set(rows[0]) == {"name"}  # helper sort key stripped
+
+    def test_limit(self, db):
+        rows = run(db, "SELECT name FROM patients ORDER BY pid LIMIT 2")
+        assert len(rows) == 2
+
+    def test_order_by_aggregate(self, db):
+        rows = run(
+            db,
+            "SELECT diagnosis FROM patients GROUP BY diagnosis "
+            "ORDER BY COUNT(*) DESC LIMIT 1",
+        )
+        assert rows[0]["diagnosis"] == "flu"
+
+    def test_nulls_last_on_desc(self, db):
+        rows = run(db, "SELECT name FROM patients ORDER BY age DESC")
+        assert rows[-1]["name"] == "dee"
+
+
+class TestJoins:
+    def test_explicit_join(self, db):
+        rows = run(
+            db,
+            "SELECT patients.name, visits.cost FROM patients, visits "
+            "WHERE patients.pid = visits.pid",
+        )
+        assert len(rows) == 3
+
+    def test_join_with_filter(self, db):
+        rows = run(
+            db,
+            "SELECT patients.name FROM patients, visits "
+            "WHERE patients.pid = visits.pid AND visits.cost > 150",
+        )
+        assert sorted(r["patients.name"] for r in rows) == ["ann", "cal"]
+
+    def test_join_aggregate(self, db):
+        rows = run(
+            db,
+            "SELECT SUM(visits.cost) FROM patients, visits "
+            "WHERE patients.pid = visits.pid AND patients.diagnosis = 'flu'",
+        )
+        assert rows[0]["SUM(visits.cost)"] == 300
+
+    def test_unexpanded_join_placeholder_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT * FROM @JOIN WHERE patients.age = 1")
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT pid FROM patients, visits")
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        rows = run(
+            db,
+            "SELECT name FROM patients WHERE age = (SELECT MAX(age) FROM patients)",
+        )
+        assert [r["name"] for r in rows] == ["cal"]
+
+    def test_avg_comparison_subquery(self, db):
+        rows = run(
+            db,
+            "SELECT name FROM patients WHERE age > (SELECT AVG(age) FROM patients)",
+        )
+        assert [r["name"] for r in rows] == ["cal"]
+
+    def test_in_subquery(self, db):
+        rows = run(
+            db,
+            "SELECT name FROM patients WHERE pid IN "
+            "(SELECT pid FROM visits WHERE cost > 150)",
+        )
+        assert sorted(r["name"] for r in rows) == ["ann", "cal"]
+
+    def test_exists(self, db):
+        rows = run(
+            db,
+            "SELECT name FROM patients WHERE EXISTS "
+            "(SELECT * FROM visits WHERE cost > 250)",
+        )
+        assert len(rows) == 4  # uncorrelated EXISTS is all-or-nothing
+
+    def test_not_exists(self, db):
+        rows = run(
+            db,
+            "SELECT name FROM patients WHERE NOT EXISTS "
+            "(SELECT * FROM visits WHERE cost > 9999)",
+        )
+        assert len(rows) == 4
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT * FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT zz FROM patients")
+
+    def test_placeholder_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            run(db, "SELECT * FROM patients WHERE age = @AGE")
+
+    def test_max_rows(self, db):
+        rows = execute(parse("SELECT * FROM patients"), db, max_rows=2)
+        assert len(rows) == 2

@@ -1,0 +1,41 @@
+"""Tests for aggregate functions."""
+
+import pytest
+
+from repro.db.functions import evaluate_aggregate
+from repro.errors import ExecutionError
+from repro.sql import AggFunc
+
+
+class TestAggregates:
+    def test_count(self):
+        assert evaluate_aggregate(AggFunc.COUNT, [1, 2, 3]) == 3
+        assert evaluate_aggregate(AggFunc.COUNT, []) == 0
+
+    def test_count_distinct(self):
+        assert evaluate_aggregate(AggFunc.COUNT, [1, 1, 2], distinct=True) == 2
+
+    def test_sum_avg(self):
+        assert evaluate_aggregate(AggFunc.SUM, [1, 2, 3]) == 6
+        assert evaluate_aggregate(AggFunc.AVG, [1, 2, 3]) == 2
+
+    def test_min_max(self):
+        assert evaluate_aggregate(AggFunc.MIN, [3, 1, 2]) == 1
+        assert evaluate_aggregate(AggFunc.MAX, [3, 1, 2]) == 3
+
+    def test_min_max_strings(self):
+        assert evaluate_aggregate(AggFunc.MIN, ["b", "a"]) == "a"
+        assert evaluate_aggregate(AggFunc.MAX, ["b", "a"]) == "b"
+
+    def test_empty_is_null(self):
+        for func in (AggFunc.SUM, AggFunc.AVG, AggFunc.MIN, AggFunc.MAX):
+            assert evaluate_aggregate(func, []) is None
+
+    def test_sum_over_strings_rejected(self):
+        with pytest.raises(ExecutionError):
+            evaluate_aggregate(AggFunc.SUM, ["a", "b"])
+        with pytest.raises(ExecutionError):
+            evaluate_aggregate(AggFunc.AVG, ["a"])
+
+    def test_distinct_sum(self):
+        assert evaluate_aggregate(AggFunc.SUM, [2, 2, 3], distinct=True) == 5

@@ -1,0 +1,94 @@
+"""Tests for the exception hierarchy and scalar predicate evaluation."""
+
+import pytest
+
+import repro.errors as errors
+from repro.db.expressions import _like_match, compare, resolve_column
+from repro.errors import ExecutionError, ReproError
+from repro.sql import ColumnRef, CompOp
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError) or obj is ReproError
+
+    def test_lex_error_carries_position(self):
+        err = errors.SqlLexError("bad", 7)
+        assert err.position == 7
+        assert "position 7" in str(err)
+
+    def test_catching_family(self):
+        with pytest.raises(ReproError):
+            raise errors.SchemaError("x")
+        with pytest.raises(errors.SqlError):
+            raise errors.SqlParseError("x")
+
+
+class TestCompare:
+    def test_numeric(self):
+        assert compare(CompOp.LT, 1, 2)
+        assert compare(CompOp.GE, 2, 2)
+        assert not compare(CompOp.GT, 1, 2)
+
+    def test_strings(self):
+        assert compare(CompOp.EQ, "a", "a")
+        assert compare(CompOp.LT, "a", "b")
+
+    def test_null_is_false(self):
+        for op in CompOp:
+            assert not compare(op, None, 1)
+            assert not compare(op, 1, None)
+
+    def test_cross_type_is_false(self):
+        assert not compare(CompOp.EQ, "1", 1)
+        assert not compare(CompOp.LT, "a", 1)
+
+    def test_exotic_types_false(self):
+        assert not compare(CompOp.EQ, [1], [1])
+
+    def test_int_float_comparable(self):
+        assert compare(CompOp.EQ, 1, 1.0)
+
+
+class TestLikeMatch:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%llo", True),
+            ("hello", "h_llo", True),
+            ("hello", "h_lo", False),
+            ("HELLO", "hello", True),  # case-insensitive
+            ("a*b", "a*b", True),  # glob chars are literal in LIKE
+            ("axb", "a*b", False),
+            ("a[b", "a[b", True),
+            ("50%", "50%", True),
+        ],
+    )
+    def test_examples(self, value, pattern, expected):
+        assert _like_match(value, pattern) is expected
+
+
+class TestResolveColumn:
+    def test_qualified(self):
+        row = {"t": {"a": 1}, "u": {"a": 2}}
+        assert resolve_column(ColumnRef("a", table="u"), row) == 2
+
+    def test_unqualified_unique(self):
+        row = {"t": {"a": 1}, "u": {"b": 2}}
+        assert resolve_column(ColumnRef("b"), row) == 2
+
+    def test_unqualified_ambiguous(self):
+        row = {"t": {"a": 1}, "u": {"a": 2}}
+        with pytest.raises(ExecutionError):
+            resolve_column(ColumnRef("a"), row)
+
+    def test_unknown(self):
+        with pytest.raises(ExecutionError):
+            resolve_column(ColumnRef("zz"), {"t": {"a": 1}})
+        with pytest.raises(ExecutionError):
+            resolve_column(ColumnRef("a", table="nope"), {"t": {"a": 1}})

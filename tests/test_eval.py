@@ -1,0 +1,188 @@
+"""Tests for metrics, the evaluation harness, coverage, and reports."""
+
+import math
+
+import pytest
+
+from repro.bench import Workload, WorkloadItem
+from repro.eval import (
+    BUCKETS,
+    bucket_of,
+    coverage_breakdown,
+    evaluate,
+    exact_match,
+    format_histogram,
+    format_series,
+    format_table,
+    parse_rate,
+    semantic_match,
+)
+from repro.sql import Difficulty, parse, pattern_signature
+
+
+class TestMetrics:
+    def test_exact_match_canonical(self):
+        assert exact_match(
+            "SELECT * FROM t WHERE 18 < age",
+            parse("SELECT * FROM t WHERE age > 18"),
+        )
+
+    def test_exact_match_rejects_semantics(self):
+        assert not exact_match(
+            "SELECT name FROM t WHERE age >= 18",
+            parse("SELECT name FROM t WHERE age > 17"),
+        )
+
+    def test_unparseable_prediction_is_wrong(self):
+        assert not exact_match("garbage", parse("SELECT * FROM t"))
+        assert not exact_match(None, parse("SELECT * FROM t"))
+
+    def test_semantic_match_without_checker_falls_back(self):
+        assert semantic_match("SELECT * FROM t", parse("SELECT * FROM t"))
+
+    def test_parse_rate(self):
+        rate = parse_rate(["SELECT * FROM t", "garbage", None, "SELECT x FROM t"])
+        assert rate == 0.5
+        assert parse_rate([]) == 0.0
+
+
+class _FixedModel:
+    """Returns a canned SQL per NL input."""
+
+    def __init__(self, table):
+        self.table = dict(table)
+
+    def translate(self, nl):
+        return self.table.get(nl)
+
+    def translate_for_schema(self, nl, schema):
+        return self.translate(nl)
+
+
+def make_workload():
+    items = [
+        WorkloadItem(
+            nl="show all patient",
+            sql=parse("SELECT * FROM patients"),
+            schema_name="patients",
+            category="naive",
+        ),
+        WorkloadItem(
+            nl="count the patient",
+            sql=parse("SELECT COUNT(*) FROM patients"),
+            schema_name="patients",
+            category="naive",
+        ),
+        WorkloadItem(
+            nl="patient with @AGE",
+            sql=parse("SELECT * FROM patients WHERE age = @AGE"),
+            schema_name="patients",
+            category="missing",
+        ),
+    ]
+    return Workload("unit", items)
+
+
+class TestHarness:
+    def test_accuracy_and_breakdowns(self):
+        model = _FixedModel(
+            {
+                "show all patient": "SELECT * FROM patients",
+                "count the patient": "SELECT SUM(age) FROM patients",  # wrong
+                "patient with @AGE": "SELECT * FROM patients WHERE age = @AGE",
+            }
+        )
+        result = evaluate(model, make_workload(), metric="exact")
+        assert result.accuracy == pytest.approx(2 / 3)
+        by_category = result.by_category()
+        assert by_category["naive"] == pytest.approx(0.5)
+        assert by_category["missing"] == 1.0
+        assert len(result.failures()) == 1
+
+    def test_lemmatization_applied_to_items(self):
+        # Workload NL written unlemmatized; model expects lemmatized form.
+        items = [
+            WorkloadItem(
+                nl="show all patients",
+                sql=parse("SELECT * FROM patients"),
+                schema_name="patients",
+            )
+        ]
+        model = _FixedModel({"show all patient": "SELECT * FROM patients"})
+        result = evaluate(model, Workload("w", items), metric="exact")
+        assert result.accuracy == 1.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate(_FixedModel({}), make_workload(), metric="bleu")
+
+    def test_by_difficulty_nan_for_empty_bucket(self):
+        model = _FixedModel({})
+        result = evaluate(model, make_workload(), metric="exact")
+        by_difficulty = result.by_difficulty()
+        assert math.isnan(by_difficulty[Difficulty.VERY_HARD])
+
+    def test_gold_join_form_normalized_with_postprocess(self, geography):
+        """Gold @JOIN queries are expanded like predictions are."""
+        gold = parse(
+            "SELECT city.city_name FROM @JOIN WHERE state.population > @STATE.POPULATION"
+        )
+        expanded_prediction = (
+            "SELECT city.city_name FROM city, state "
+            "WHERE city.state_name = state.state_name "
+            "AND state.population > @STATE.POPULATION"
+        )
+        items = [WorkloadItem(nl="q", sql=gold, schema_name="geography")]
+        model = _FixedModel({"q": expanded_prediction})
+        result = evaluate(
+            model,
+            Workload("w", items),
+            metric="exact",
+            schemas={"geography": geography},
+        )
+        assert result.accuracy == 1.0
+
+
+class TestCoverage:
+    def test_bucket_of(self):
+        sig = pattern_signature(parse("SELECT * FROM t"))
+        assert bucket_of(sig, {sig}, {sig}) == "both"
+        assert bucket_of(sig, set(), {sig}) == "dbpal"
+        assert bucket_of(sig, {sig}, set()) == "spider"
+        assert bucket_of(sig, set(), set()) == "unseen"
+
+    def test_breakdown_counts(self):
+        model = _FixedModel({"show all patient": "SELECT * FROM patients"})
+        result = evaluate(model, make_workload(), metric="exact")
+        breakdown = coverage_breakdown(
+            result,
+            spider_training_sql=["SELECT * FROM anything"],
+            dbpal_training_sql=["SELECT COUNT(*) FROM anything"],
+        )
+        assert sum(breakdown.counts.values()) == 3
+        assert set(breakdown.accuracy) == set(BUCKETS)
+        rows = breakdown.as_rows()
+        assert len(rows) == len(BUCKETS)
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["Name", "Value"], [["a", 0.5], ["bbbb", float("nan")]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.500" in text
+        assert "-" in lines[-1]  # NaN rendered as dash
+
+    def test_format_histogram(self):
+        text = format_histogram([1, 3], [0.0, 0.5, 1.0], title="H")
+        assert "H" in text and "#" in text
+
+    def test_format_series(self):
+        text = format_series({"0%": 0.1, "100%": 1.0})
+        assert "100%" in text and "#" in text
+
+    def test_format_series_nan(self):
+        text = format_series({"x": float("nan")})
+        assert "-" in text

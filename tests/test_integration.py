@@ -1,0 +1,150 @@
+"""Integration tests: the whole system working together.
+
+These exercise the paper's headline claims end-to-end on small scales:
+bootstrap an NLIDB from a schema alone, pluggability of the model,
+tuning loop, and the evaluation harness over a real trained model.
+"""
+
+import pytest
+
+from repro.core import GenerationConfig, TrainingPipeline, random_search
+from repro.db import execute, populate
+from repro.eval import evaluate
+from repro.neural import (
+    CrossDomainModel,
+    RetrievalModel,
+    Seq2SeqModel,
+    SyntaxAwareModel,
+)
+from repro.runtime import DBPal
+from repro.schema import load_schema, patients_schema
+from repro.sql import parse, try_parse
+
+
+class TestBootstrapFromSchemaOnly:
+    """Paper claim: 'an NLIDB can be effectively bootstrapped without
+    requiring manual training data'."""
+
+    @pytest.fixture(scope="class")
+    def nlidb(self):
+        schema = patients_schema()
+        database = populate(schema, rows_per_table=25, seed=9)
+        nlidb = DBPal(database)
+        model = Seq2SeqModel(
+            embed_dim=32, hidden_dim=64, epochs=6, batch_size=64, seed=0
+        )
+        nlidb.train(model, config=GenerationConfig(size_slotfills=6), seed=0)
+        return nlidb
+
+    def test_count_question(self, nlidb):
+        rows = nlidb.query("how many patients are there")
+        assert rows == [{"COUNT(*)": 25}]
+
+    def test_filter_question_with_constant(self, nlidb):
+        age = nlidb.database.rows("patients")[0]["age"]
+        result = nlidb.translate(f"show me all patients with age {age}")
+        assert result.ok
+        assert str(age) in result.sql
+
+    def test_aggregate_question(self, nlidb):
+        result = nlidb.translate("what is the average age of all patients")
+        assert result.ok
+        assert "AVG(age)" in result.sql
+
+    def test_translations_execute(self, nlidb):
+        questions = [
+            "show me all patients",
+            "count the number of patients",
+            "what is the maximum age of the patients",
+        ]
+        executed = 0
+        for question in questions:
+            result = nlidb.translate(question)
+            if result.ok:
+                execute(result.query, nlidb.database)
+                executed += 1
+        assert executed >= 2
+
+
+class TestPluggability:
+    """Paper claim: the pipeline trains *any* model unchanged."""
+
+    def test_three_model_families_plug_in(self, patients):
+        pipeline = TrainingPipeline(
+            patients, GenerationConfig(size_slotfills=3), seed=1
+        )
+        for model in (
+            RetrievalModel(),
+            Seq2SeqModel(embed_dim=8, hidden_dim=16, epochs=1, seed=0),
+            SyntaxAwareModel(embed_dim=8, hidden_dim=16, epochs=1, seed=0),
+        ):
+            pipeline.train(model)
+            output = model.translate("show me all patient")
+            assert output is None or isinstance(output, str)
+
+    def test_cross_domain_wrapper_plugs_in(self, patients, geography):
+        pipeline = TrainingPipeline(
+            [patients, geography], GenerationConfig(size_slotfills=3), seed=1
+        )
+        model = CrossDomainModel(
+            RetrievalModel(), [patients, geography], default_schema=patients
+        )
+        pipeline.train(model)
+        assert model.translate("show me all patient") == "SELECT * FROM patients"
+
+
+class TestTuningLoop:
+    def test_random_search_runs_and_ranks(self, patients):
+        from repro.bench import build_patients_benchmark
+
+        workload = list(build_patients_benchmark().by_category("naive"))[:20]
+        result = random_search(
+            patients,
+            workload,
+            model_factory=RetrievalModel,
+            n_trials=3,
+            seed=0,
+            corpus_cap=300,
+        )
+        assert len(result.trials) == 3
+        accuracies = result.accuracies()
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert result.best.accuracy == max(accuracies)
+        summary = result.summary()
+        assert summary["trials"] == 3
+        counts, edges = result.histogram(bins=4)
+        assert counts.sum() == 3
+
+
+class TestHarnessOverTrainedModel:
+    def test_patients_naive_category_learnable(self):
+        """A seq2seq trained on patients synthesis should do well on the
+        benchmark's naive category (the paper's DBPal rows)."""
+        from repro.bench import build_patients_benchmark
+
+        schema = patients_schema()
+        corpus = TrainingPipeline(
+            schema, GenerationConfig(size_slotfills=8), seed=2
+        ).generate().subsample(2500, seed=0)
+        model = Seq2SeqModel(
+            embed_dim=48, hidden_dim=96, epochs=8, batch_size=64, seed=1
+        )
+        model.fit(corpus.pairs)
+        workload = build_patients_benchmark().by_category("naive")
+        result = evaluate(
+            model, workload, metric="exact", schemas={"patients": schema}
+        )
+        assert result.accuracy >= 0.5, result.accuracy
+
+    def test_grammar_constrained_outputs_parse(self):
+        schema = patients_schema()
+        corpus = TrainingPipeline(
+            schema, GenerationConfig(size_slotfills=4), seed=3
+        ).generate().subsample(800, seed=0)
+        model = SyntaxAwareModel(
+            embed_dim=24, hidden_dim=48, epochs=4, batch_size=64, seed=1
+        )
+        model.fit(corpus.pairs)
+        for pair in corpus.pairs[:40]:
+            output = model.translate(pair.nl)
+            assert output is None or try_parse(output) is not None

@@ -1,0 +1,117 @@
+"""Contract tests: interface defaults, idempotence, miscellaneous edges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.spider import HUMAN_STYLE, humanize
+from repro.neural.base import TranslationModel
+from repro.nlp.vocab import SPECIALS, Vocab
+from repro.runtime import PostProcessor
+from repro.schema import load_schema
+from repro.sql import to_sql, try_parse
+
+
+class TestTranslationModelContract:
+    def test_abstract_methods_required(self):
+        with pytest.raises(TypeError):
+            TranslationModel()  # abstract
+
+    def test_default_schema_translation_delegates(self):
+        class Fixed(TranslationModel):
+            def fit(self, pairs, **kwargs):
+                pass
+
+            def translate(self, nl):
+                return "SELECT * FROM t"
+
+        model = Fixed()
+        assert model.translate_for_schema("x", object()) == "SELECT * FROM t"
+        assert model.translate_batch(["a", "b"]) == ["SELECT * FROM t"] * 2
+
+
+class TestHumanize:
+    def test_zero_intensity_prefix_only(self):
+        rng = np.random.default_rng(0)
+        out = humanize("show me all patients", rng, intensity=0.0)
+        # No phrase substitutions at intensity 0 (prefixes may appear).
+        assert "show me all patients" in out
+
+    def test_high_intensity_rewrites(self):
+        hits = 0
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            out = humanize("show me all patients greater than @AGE", rng, 1.0)
+            if any(v in out for v in HUMAN_STYLE.values()):
+                hits += 1
+        assert hits >= 8
+
+    def test_at_most_three_substitutions(self):
+        rng = np.random.default_rng(1)
+        text = "show me all the total of the average maximum minimum list find"
+        out = humanize(text, rng, intensity=1.0)
+        replaced = sum(1 for v in HUMAN_STYLE.values() if v in out)
+        assert replaced <= 4  # 3 substitutions; one replacement may contain another
+
+
+class TestPostProcessorIdempotence:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM city",
+            "SELECT city.city_name FROM @JOIN WHERE state.population > @STATE.POPULATION",
+            "SELECT length FROM state",
+        ],
+    )
+    def test_processing_twice_is_stable(self, sql):
+        post = PostProcessor(load_schema("geography"))
+        once = post.process(sql)
+        twice = post.process(once.sql)
+        assert twice.sql == once.sql
+
+    def test_output_always_parses(self):
+        post = PostProcessor(load_schema("geography"))
+        for sql in (
+            "SELECT city_name FROM city",
+            "SELECT AVG(city.population) FROM @JOIN WHERE state.area > @STATE.AREA",
+        ):
+            processed = post.process(sql)
+            assert try_parse(processed.sql) is not None
+
+
+class TestVocabProperties:
+    @given(st.lists(st.text(alphabet="abcxyz", min_size=1, max_size=6), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_roundtrip(self, tokens):
+        tokens = [t for t in tokens if t not in SPECIALS]
+        vocab = Vocab(tokens)
+        ids = vocab.encode(tokens)
+        assert vocab.decode(ids) == tokens
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4), max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_ids_unique_and_stable(self, tokens):
+        vocab = Vocab(tokens)
+        ids = [vocab.id_of(t) for t in set(tokens)]
+        assert len(ids) == len(set(ids))
+
+
+class TestCliPosFlag:
+    def test_generate_with_pos_aware_dropout(self, tmp_path):
+        from repro.cli import main
+        from repro.core.corpus_io import load_jsonl
+
+        path = tmp_path / "pos.jsonl"
+        code = main(
+            [
+                "generate",
+                "patients",
+                "--output",
+                str(path),
+                "--size-slotfills",
+                "2",
+                "--pos-aware-dropout",
+            ]
+        )
+        assert code == 0
+        assert len(load_jsonl(path)) > 0

@@ -1,0 +1,165 @@
+"""Tests for cross-domain schema-slot anonymization and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.core.templates import Family, TrainingPair
+from repro.errors import ModelError
+from repro.neural import (
+    CrossDomainModel,
+    RetrievalModel,
+    SchemaMap,
+    Seq2SeqModel,
+    load_model,
+    save_model,
+)
+from repro.neural.base import sql_to_tokens, tokens_to_sql
+from repro.schema import load_schema, patients_schema
+from repro.sql import parse
+
+
+class TestSchemaMap:
+    def test_sql_slot_roundtrip(self, patients):
+        schema_map = SchemaMap(patients)
+        sql = "SELECT name FROM patients WHERE age > @AGE"
+        tokens = sql_to_tokens(sql)
+        slots = schema_map.sql_tokens_to_slots(tokens)
+        assert "patients" not in slots and "age" not in slots
+        restored = schema_map.sql_tokens_from_slots(slots)
+        assert tokens_to_sql(restored) == tokens_to_sql(tokens)
+
+    def test_dotted_placeholder_mapped(self, geography):
+        schema_map = SchemaMap(geography)
+        tokens = sql_to_tokens(
+            "SELECT city.city_name FROM @JOIN WHERE state.population > @STATE.POPULATION"
+        )
+        slots = schema_map.sql_tokens_to_slots(tokens)
+        assert "@JOIN" in slots  # the join placeholder survives
+        assert not any("state" in t.lower() and not t.startswith("tbl") for t in slots if t != "@JOIN"), slots
+        restored = schema_map.sql_tokens_from_slots(slots)
+        assert restored == tokens
+
+    def test_nl_exact_names_anonymized(self, patients):
+        schema_map = SchemaMap(patients)
+        out = schema_map.nl_to_slots("show the age of all patient with @AGE")
+        assert "age" not in out.split()
+        assert "patient" not in out.split()
+
+    def test_nl_synonyms_left_verbatim(self, patients):
+        schema_map = SchemaMap(patients)
+        out = schema_map.nl_to_slots("show the disease of every person")
+        assert "disease" in out.split()
+        assert "person" in out.split()
+
+    def test_multiword_column_names(self, patients):
+        schema_map = SchemaMap(patients)
+        out = schema_map.nl_to_slots("the length of stay of patient")
+        assert "length" not in out and "stay" not in out
+
+    def test_slot_assignment_deterministic(self, patients):
+        first = SchemaMap(patients)
+        second = SchemaMap(patients)
+        sql = sql_to_tokens("SELECT name FROM patients")
+        assert first.sql_tokens_to_slots(sql) == second.sql_tokens_to_slots(sql)
+
+
+class TestCrossDomainModel:
+    def test_transfers_to_unseen_schema(self):
+        """Train on geography; answer on retail via slot transfer."""
+        geography = load_schema("geography")
+        retail = load_schema("retail")
+        pipeline = TrainingPipeline(
+            geography, GenerationConfig(size_slotfills=4), seed=0
+        )
+        inner = RetrievalModel()  # deterministic inner model
+        model = CrossDomainModel(inner, [geography, retail])
+        pipeline.train(model)
+        out = model.translate_for_schema("show me all product", retail)
+        assert out == "SELECT * FROM product"
+
+    def test_translate_requires_default_schema(self):
+        model = CrossDomainModel(RetrievalModel(), [patients_schema()])
+        with pytest.raises(ModelError):
+            model.translate("anything")
+
+    def test_default_schema_used(self, patients):
+        pipeline = TrainingPipeline(patients, GenerationConfig(size_slotfills=4), seed=0)
+        model = CrossDomainModel(RetrievalModel(), [patients], default_schema=patients)
+        pipeline.train(model)
+        assert model.translate("show me all patient") == "SELECT * FROM patients"
+
+    def test_unknown_schema_name_raises(self, patients):
+        model = CrossDomainModel(RetrievalModel(), [patients])
+        with pytest.raises(ModelError):
+            model.map_for("unknown")
+
+    def test_new_schema_object_registered_lazily(self, patients, geography):
+        model = CrossDomainModel(RetrievalModel(), [patients])
+        assert model.map_for(geography) is model.map_for("geography")
+
+
+class TestCheckpoint:
+    def make_model(self):
+        pairs = [
+            TrainingPair(
+                nl=nl,
+                sql=parse(sql),
+                template_id="t",
+                family=Family.SELECT,
+                schema_name="s",
+            )
+            for nl, sql in [
+                ("show all patients", "SELECT * FROM patients"),
+                ("count all patients", "SELECT COUNT(*) FROM patients"),
+            ] * 3
+        ]
+        model = Seq2SeqModel(embed_dim=8, hidden_dim=12, epochs=20, batch_size=2, seed=0)
+        model.fit(pairs)
+        return model
+
+    def test_save_load_roundtrip(self, tmp_path):
+        model = self.make_model()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.translate("show all patients") == model.translate(
+            "show all patients"
+        )
+        assert restored.loss_history == model.loss_history
+
+    def test_parameters_identical(self, tmp_path):
+        model = self.make_model()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        for original, loaded in zip(model.layers, restored.layers):
+            for name in original.params:
+                assert np.array_equal(original.params[name], loaded.params[name])
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(ModelError):
+            save_model(Seq2SeqModel(), tmp_path / "m.npz")
+
+    def test_load_missing_metadata_raises(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_model(tmp_path / "missing.npz")
+
+    def test_syntax_aware_checkpoint_restores_grammar(self, tmp_path):
+        from repro.neural import SyntaxAwareModel
+
+        pairs = [
+            TrainingPair(
+                nl="show all patients",
+                sql=parse("SELECT * FROM patients"),
+                template_id="t",
+                family=Family.SELECT,
+                schema_name="s",
+            )
+        ] * 4
+        model = SyntaxAwareModel(embed_dim=8, hidden_dim=12, epochs=3, seed=0)
+        model.fit(pairs)
+        path = tmp_path / "syntax.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored._grammar_mask is not None

@@ -1,0 +1,114 @@
+"""Tests for the Adam optimizer and batch construction."""
+
+import numpy as np
+
+from repro.neural.batching import Batch, iterate_batches, make_batch, pad_sequences
+from repro.neural.layers import Dense
+from repro.neural.optim import Adam
+from repro.nlp.vocab import Vocab
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 1, rng)
+        target_w = np.array([[1.0], [-2.0], [0.5]])
+        x = rng.normal(size=(64, 3))
+        y = x @ target_w
+        optimizer = Adam([layer], lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grads()
+            out, cache = layer.forward(x)
+            grad = (out - y) / len(x)
+            layer.backward(grad, cache)
+            optimizer.step()
+        assert np.allclose(layer.params["W"], target_w, atol=0.05)
+
+    def test_gradient_clipping(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(2, 2, rng)
+        optimizer = Adam([layer], lr=0.1, clip_norm=1.0)
+        layer.grads["W"][...] = 1e6
+        before = layer.params["W"].copy()
+        optimizer.step()
+        # Clipped update stays bounded.
+        assert np.all(np.abs(layer.params["W"] - before) < 1.0)
+
+    def test_zero_grads(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(2, 2, rng)
+        layer.grads["W"][...] = 5.0
+        Adam([layer]).zero_grads()
+        assert np.all(layer.grads["W"] == 0.0)
+
+
+class TestPadding:
+    def test_pad_sequences(self):
+        out = pad_sequences([[1, 2], [3]], pad_id=0)
+        assert out.tolist() == [[1, 2], [3, 0]]
+
+    def test_empty(self):
+        assert pad_sequences([], pad_id=0).shape == (0, 0)
+
+
+class TestMakeBatch:
+    def vocabs(self):
+        src = Vocab(["show", "all", "patients", "cities"])
+        tgt = Vocab(["SELECT", "*", "FROM", "patients", "city"])
+        return src, tgt
+
+    def test_shapes_and_masks(self):
+        src, tgt = self.vocabs()
+        batch = make_batch(
+            [["show", "all"], ["show", "all", "patients"]],
+            [["SELECT", "*"], ["SELECT"]],
+            src,
+            tgt,
+        )
+        assert batch.src.shape == (2, 3)
+        assert batch.src_mask[0].tolist() == [1.0, 1.0, 0.0]
+        # tgt_in starts with BOS; tgt_out ends with EOS.
+        assert batch.tgt_in[0][0] == tgt.bos_id
+        assert batch.tgt_out[0][-1] == tgt.eos_id
+        assert batch.size == 2
+
+    def test_tgt_mask_covers_eos(self):
+        src, tgt = self.vocabs()
+        batch = make_batch([["show"]], [["SELECT"]], src, tgt)
+        # SELECT + EOS -> two loss positions.
+        assert batch.tgt_mask.sum() == 2.0
+
+
+class TestIterateBatches:
+    def test_covers_all_examples(self):
+        src, tgt = self.make_data()
+        rng = np.random.default_rng(0)
+        total = 0
+        for batch in iterate_batches(*src, *tgt, batch_size=4, rng=rng):
+            total += batch.size
+        assert total == 10
+
+    def make_data(self):
+        src_vocab = Vocab(["a", "b"])
+        tgt_vocab = Vocab(["X"])
+        src_tokens = [["a"] * (i % 3 + 1) for i in range(10)]
+        tgt_tokens = [["X"]] * 10
+        return (src_tokens, tgt_tokens), (src_vocab, tgt_vocab)
+
+    def test_bucketing_limits_padding(self):
+        (src_tokens, tgt_tokens), (src_vocab, tgt_vocab) = self.make_data()
+        rng = np.random.default_rng(0)
+        for batch in iterate_batches(
+            src_tokens, tgt_tokens, src_vocab, tgt_vocab, batch_size=3, rng=rng
+        ):
+            lengths = batch.src_mask.sum(axis=1)
+            assert lengths.max() - lengths.min() <= 1
+
+    def test_epochs_shuffle(self):
+        (src_tokens, tgt_tokens), (src_vocab, tgt_vocab) = self.make_data()
+        rng = np.random.default_rng(0)
+        first = [b.src.tolist() for b in iterate_batches(
+            src_tokens, tgt_tokens, src_vocab, tgt_vocab, 3, rng)]
+        second = [b.src.tolist() for b in iterate_batches(
+            src_tokens, tgt_tokens, src_vocab, tgt_vocab, 3, rng)]
+        assert first != second or len(first) == 1

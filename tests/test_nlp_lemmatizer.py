@@ -1,0 +1,112 @@
+"""Tests for the rule-based lemmatizer."""
+
+import pytest
+
+from repro.nlp import lemmatize, lemmatize_word
+
+
+class TestIrregulars:
+    @pytest.mark.parametrize(
+        "word,lemma",
+        [
+            ("is", "be"),
+            ("are", "be"),
+            ("am", "be"),
+            ("was", "be"),
+            ("were", "be"),
+            ("has", "have"),
+            ("had", "have"),
+            ("does", "do"),
+            ("did", "do"),
+            ("went", "go"),
+            ("people", "person"),
+            ("children", "child"),
+            ("diagnoses", "diagnosis"),
+            ("showed", "show"),
+            ("stayed", "stay"),
+            ("diagnosed", "diagnose"),
+        ],
+    )
+    def test_mapping(self, word, lemma):
+        assert lemmatize_word(word) == lemma
+
+
+class TestSuffixRules:
+    @pytest.mark.parametrize(
+        "word,lemma",
+        [
+            ("cars", "car"),
+            ("cities", "city"),
+            ("patients", "patient"),
+            ("diseases", "disease"),
+            ("classes", "class"),
+            ("boxes", "box"),
+            ("wishes", "wish"),
+            ("churches", "church"),
+            ("ages", "age"),
+            ("stopped", "stop"),
+            ("running", "run"),
+            ("spinning", "spin"),
+            ("stored", "store"),
+            ("listed", "list"),
+            ("counting", "count"),
+        ],
+    )
+    def test_mapping(self, word, lemma):
+        assert lemmatize_word(word) == lemma
+
+
+class TestComparatives:
+    @pytest.mark.parametrize(
+        "word,lemma",
+        [
+            ("older", "old"),
+            ("oldest", "old"),
+            ("higher", "high"),
+            ("largest", "large"),
+            ("biggest", "big"),
+            ("cheapest", "cheap"),
+        ],
+    )
+    def test_gradable_adjectives(self, word, lemma):
+        assert lemmatize_word(word) == lemma
+
+    def test_non_gradable_er_words_untouched(self):
+        assert lemmatize_word("under") == "under"
+        assert lemmatize_word("number") == "number"
+
+
+class TestProtections:
+    @pytest.mark.parametrize(
+        "word", ["during", "this", "less", "address", "status", "always", "series"]
+    )
+    def test_protected_words(self, word):
+        assert lemmatize_word(word) == word
+
+    def test_short_words_untouched(self):
+        assert lemmatize_word("his") == "his"
+        assert lemmatize_word("as") == "as"
+
+    def test_placeholder_passthrough(self):
+        assert lemmatize_word("@AGE") == "@AGE"
+
+    def test_number_passthrough(self):
+        assert lemmatize_word("42") == "42"
+
+
+class TestSentences:
+    def test_possessive_stripped(self):
+        assert lemmatize("the car's wheels") == "the car wheel"
+
+    def test_full_sentence(self):
+        assert (
+            lemmatize("What are the names of all patients?")
+            == "what be the name of all patient ?"
+        )
+
+    def test_placeholders_survive(self):
+        assert lemmatize("patients with age @AGE") == "patient with age @AGE"
+
+    def test_idempotent(self):
+        text = "show me the longest rivers"
+        assert lemmatize(lemmatize(text)) == lemmatize(text)

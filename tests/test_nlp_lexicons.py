@@ -1,0 +1,69 @@
+"""Tests for the slot-fill lexicons."""
+
+from repro.nlp.lexicons import (
+    AGGREGATE_PHRASES,
+    COMPARISON_PHRASES,
+    DOMAIN_COMPARATIVES,
+    DOMAIN_SUPERLATIVES,
+    GENERIC_SUPERLATIVES,
+    SELECT_PHRASES,
+    WHERE_PHRASES,
+    comparative_phrases,
+    superlative_phrases,
+)
+from repro.schema.column import KNOWN_DOMAINS
+from repro.sql import AggFunc, CompOp
+
+
+class TestPhraseTables:
+    def test_every_aggregate_has_phrases(self):
+        for func in AggFunc:
+            assert AGGREGATE_PHRASES[func], func
+
+    def test_every_operator_has_phrases(self):
+        for op in CompOp:
+            assert COMPARISON_PHRASES[op], op
+
+    def test_select_and_where_phrases_nonempty(self):
+        assert len(SELECT_PHRASES) >= 5
+        assert len(WHERE_PHRASES) >= 3
+
+    def test_no_duplicate_phrases_within_tables(self):
+        assert len(set(SELECT_PHRASES)) == len(SELECT_PHRASES)
+        assert len(set(WHERE_PHRASES)) == len(WHERE_PHRASES)
+
+    def test_domain_comparatives_cover_known_domains(self):
+        assert set(DOMAIN_COMPARATIVES) == set(KNOWN_DOMAINS)
+        for domain, mapping in DOMAIN_COMPARATIVES.items():
+            assert CompOp.GT in mapping and CompOp.LT in mapping
+
+
+class TestComparativePhrases:
+    def test_domain_phrase_first(self):
+        phrases = comparative_phrases(CompOp.GT, "age")
+        assert phrases[0] == "older than"
+        assert "greater than" in phrases
+
+    def test_generic_only_without_domain(self):
+        phrases = comparative_phrases(CompOp.GT)
+        assert "older than" not in phrases
+        assert "greater than" in phrases
+
+    def test_eq_has_no_domain_variant(self):
+        assert comparative_phrases(CompOp.EQ, "age") == COMPARISON_PHRASES[CompOp.EQ]
+
+    def test_unknown_domain_falls_back(self):
+        assert comparative_phrases(CompOp.LT, "") == COMPARISON_PHRASES[CompOp.LT]
+
+
+class TestSuperlativePhrases:
+    def test_domain_specific(self):
+        assert superlative_phrases("age") == ("oldest", "youngest")
+        assert superlative_phrases("price") == ("most expensive", "cheapest")
+
+    def test_generic_fallback(self):
+        assert superlative_phrases("") == GENERIC_SUPERLATIVES
+        assert superlative_phrases("unknown") == GENERIC_SUPERLATIVES
+
+    def test_all_superlative_domains_are_known(self):
+        assert set(DOMAIN_SUPERLATIVES) <= set(KNOWN_DOMAINS)

@@ -1,0 +1,134 @@
+"""Tests for the rule-based POS tagger and extensions."""
+
+import pytest
+
+from repro.nlp.extra_paraphrases import (
+    EXTRA_PARAPHRASE_GROUPS,
+    combined_paraphrase_database,
+)
+from repro.nlp.pos import (
+    ADJ,
+    ADP,
+    AUX,
+    DET,
+    DROPPABLE_TAGS,
+    NOUN,
+    NUM,
+    PLACEHOLDER,
+    PUNCT,
+    VERB,
+    WH,
+    tag,
+    tag_word,
+)
+
+
+class TestTagWord:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("the", DET),
+            ("of", ADP),
+            ("is", AUX),
+            ("what", WH),
+            ("show", VERB),
+            ("average", ADJ),
+            ("patient", NOUN),
+            ("42", NUM),
+            ("3.5", NUM),
+            ("@AGE", PLACEHOLDER),
+            ("?", PUNCT),
+            ("quickly", ADJ if False else "ADV"),
+            ("diagnosed", VERB),
+            ("information", NOUN),
+            ("beautiful", ADJ),
+        ],
+    )
+    def test_examples(self, word, expected):
+        assert tag_word(word) == expected
+
+    def test_unknown_defaults_to_noun(self):
+        assert tag_word("zorblax") == NOUN
+
+    def test_case_insensitive(self):
+        assert tag_word("The") == DET
+
+
+class TestTagSentence:
+    def test_full_question(self):
+        tags = dict(tag("show the age of all patients with @AGE"))
+        assert tags["show"] == VERB
+        assert tags["the"] == DET
+        assert tags["of"] == ADP
+        assert tags["@AGE"] == PLACEHOLDER
+        assert tags["patients"] == NOUN
+
+    def test_droppable_tags_exclude_nouns(self):
+        assert NOUN not in DROPPABLE_TAGS
+        assert PLACEHOLDER not in DROPPABLE_TAGS
+        assert DET in DROPPABLE_TAGS
+
+
+class TestPosAwareDropout:
+    def test_nouns_never_dropped(self):
+        import numpy as np
+
+        from repro.core import GenerationConfig, WordDropout
+        from repro.core.templates import Family, TrainingPair
+        from repro.sql import parse
+
+        pair = TrainingPair(
+            nl="show the diagnosis of all patients having age @AGE",
+            sql=parse("SELECT diagnosis FROM patients WHERE age = @AGE"),
+            template_id="t",
+            family=Family.FILTER,
+            schema_name="patients",
+        )
+        dropout = WordDropout(
+            GenerationConfig(num_missing=5, rand_drop_p=1.0),
+            np.random.default_rng(0),
+            pos_aware=True,
+        )
+        for duplicate in dropout.drop(pair):
+            assert "diagnosis" in duplicate.nl
+            assert "patients" in duplicate.nl
+
+    def test_pipeline_flag_wires_through(self, patients):
+        from repro.core import GenerationConfig, TrainingPipeline
+
+        pipeline = TrainingPipeline(
+            patients,
+            GenerationConfig(size_slotfills=2),
+            seed=0,
+            pos_aware_dropout=True,
+        )
+        corpus = pipeline.generate()
+        assert len(corpus) > 0
+
+
+class TestExtraParaphrases:
+    def test_combined_database_includes_both_sources(self):
+        ppdb = combined_paraphrase_database(noise_rate=0.0)
+        assert ppdb.contains("show")  # main source
+        assert ppdb.contains("pull up")  # extra source
+        phrases = {e.phrase for e in ppdb.lookup("show me")}
+        assert "pull up" in phrases
+        assert "give me" in phrases  # main source still present
+
+    def test_extra_groups_disjoint_from_human_style(self):
+        from repro.bench import HUMAN_STYLE
+
+        extras = {p for group in EXTRA_PARAPHRASE_GROUPS for p in group}
+        for replacement in HUMAN_STYLE.values():
+            assert replacement not in extras
+
+    def test_pipeline_accepts_combined_database(self, patients):
+        from repro.core import GenerationConfig, TrainingPipeline
+
+        pipeline = TrainingPipeline(
+            patients,
+            GenerationConfig(size_slotfills=2),
+            ppdb=combined_paraphrase_database(),
+            seed=0,
+        )
+        assert len(pipeline.generate()) > 0

@@ -1,0 +1,90 @@
+"""Tests for the synthetic paraphrase database."""
+
+from repro.nlp import PARAPHRASE_GROUPS, ParaphraseDatabase
+
+
+class TestLookup:
+    def test_known_unigram(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        phrases = [e.phrase for e in ppdb.lookup("show")]
+        assert "display" in phrases and "list" in phrases
+
+    def test_known_bigram(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        phrases = [e.phrase for e in ppdb.lookup("greater than")]
+        assert "more than" in phrases
+
+    def test_unknown_phrase_empty_without_noise(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        assert ppdb.lookup("xylophone quartet") == []
+
+    def test_case_and_whitespace_insensitive(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        assert ppdb.lookup(" Show ") == ppdb.lookup("show")
+
+    def test_scores_descending(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        scores = [e.score for e in ppdb.lookup("maximum")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_candidates(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        assert len(ppdb.lookup("show", max_candidates=2)) == 2
+
+    def test_source_phrase_never_in_candidates(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        for phrase in ("show", "average", "greater than"):
+            assert phrase not in [e.phrase for e in ppdb.lookup(phrase)]
+
+
+class TestNoiseModel:
+    def test_noise_is_deterministic(self):
+        first = ParaphraseDatabase(noise_rate=0.5, seed=3)
+        second = ParaphraseDatabase(noise_rate=0.5, seed=3)
+        for phrase in ("show", "list", "average", "between"):
+            assert [e.phrase for e in first.lookup(phrase)] == [
+                e.phrase for e in second.lookup(phrase)
+            ]
+
+    def test_noise_injects_low_quality_entries(self):
+        clean = ParaphraseDatabase(noise_rate=0.0)
+        noisy = ParaphraseDatabase(noise_rate=0.9, seed=1, noise_score=0.2)
+        injected = 0
+        for phrase in clean.vocabulary():
+            extra = len(noisy.lookup(phrase)) - len(clean.lookup(phrase))
+            injected += extra
+        assert injected > 0
+
+    def test_noise_entries_scored_low(self):
+        noisy = ParaphraseDatabase(noise_rate=0.9, seed=1, noise_score=0.2)
+        for phrase in noisy.vocabulary():
+            for entry in noisy.lookup(phrase):
+                if entry.score == 0.2:
+                    assert entry.phrase  # fabricated but non-empty
+
+    def test_invalid_noise_rate_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ParaphraseDatabase(noise_rate=1.5)
+
+
+class TestStructure:
+    def test_symmetric_closure(self):
+        ppdb = ParaphraseDatabase(noise_rate=0.0)
+        for group in PARAPHRASE_GROUPS[:10]:
+            for phrase in group:
+                candidates = {e.phrase for e in ppdb.lookup(phrase)}
+                others = set(group) - {phrase}
+                assert others <= candidates
+
+    def test_contains(self):
+        ppdb = ParaphraseDatabase()
+        assert ppdb.contains("show")
+        assert not ppdb.contains("xylophone quartet")
+
+    def test_max_ngram_at_least_two(self):
+        assert ParaphraseDatabase().max_ngram >= 2
+
+    def test_len_counts_entries(self):
+        assert len(ParaphraseDatabase(noise_rate=0.0)) > 100

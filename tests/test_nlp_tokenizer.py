@@ -1,0 +1,70 @@
+"""Tests for the NL tokenizer."""
+
+from hypothesis import given, strategies as st
+
+from repro.nlp import detokenize, is_placeholder_token, tokenize
+
+
+class TestTokenize:
+    def test_basic_words_lowercased(self):
+        assert tokenize("Show Me Names") == ["show", "me", "names"]
+
+    def test_placeholders_preserved(self):
+        assert tokenize("age @AGE and @STATE.NAME") == [
+            "age",
+            "@AGE",
+            "and",
+            "@STATE.NAME",
+        ]
+
+    def test_placeholder_case_normalized_upper(self):
+        assert tokenize("@age") == ["@AGE"]
+
+    def test_numbers(self):
+        assert tokenize("older than 18 or 3.5") == [
+            "older",
+            "than",
+            "18",
+            "or",
+            "3.5",
+        ]
+
+    def test_punctuation_split(self):
+        assert tokenize("what, me? yes!") == ["what", ",", "me", "?", "yes", "!"]
+
+    def test_apostrophe_kept_in_word(self):
+        assert tokenize("the car's wheel") == ["the", "car's", "wheel"]
+
+    def test_operators(self):
+        assert tokenize("age >= 10") == ["age", ">=", "10"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \t\n ") == []
+
+
+class TestDetokenize:
+    def test_punctuation_attaches(self):
+        assert detokenize(["hello", ",", "world", "?"]) == "hello, world?"
+
+    def test_plain_join(self):
+        assert detokenize(["a", "b"]) == "a b"
+
+    def test_leading_punctuation(self):
+        assert detokenize([",", "a"]) == ", a"
+
+    @given(st.lists(st.sampled_from(["show", "me", "@AGE", "18", "name"]), max_size=8))
+    def test_roundtrip_token_count(self, tokens):
+        assert tokenize(detokenize(tokens)) == tokens
+
+
+class TestIsPlaceholder:
+    def test_positive(self):
+        assert is_placeholder_token("@AGE")
+        assert is_placeholder_token("@STATE.NAME")
+
+    def test_negative(self):
+        assert not is_placeholder_token("age")
+        assert not is_placeholder_token("")

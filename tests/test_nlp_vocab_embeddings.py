@@ -1,0 +1,113 @@
+"""Tests for the vocabulary and the PPMI+SVD embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.nlp import BOS, EOS, PAD, UNK, Vocab, WordEmbeddings
+
+
+class TestVocab:
+    def test_specials_reserved(self):
+        vocab = Vocab(["a", "b"])
+        assert vocab.token_of(0) == PAD
+        assert vocab.token_of(1) == BOS
+        assert vocab.token_of(2) == EOS
+        assert vocab.token_of(3) == UNK
+
+    def test_frequency_order(self):
+        vocab = Vocab(["b", "a", "b"])
+        assert vocab.id_of("b") < vocab.id_of("a")
+
+    def test_alphabetical_tiebreak(self):
+        vocab = Vocab(["b", "a"])
+        assert vocab.id_of("a") < vocab.id_of("b")
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocab(["a"])
+        assert vocab.id_of("zzz") == vocab.unk_id
+
+    def test_min_count(self):
+        vocab = Vocab(["a", "a", "b"], min_count=2)
+        assert "a" in vocab and "b" not in vocab
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocab(["a", "b", "c"])
+        ids = vocab.encode(["a", "c"], add_bos=True, add_eos=True)
+        assert ids[0] == vocab.bos_id and ids[-1] == vocab.eos_id
+        assert vocab.decode(ids) == ["a", "c"]
+
+    def test_decode_keep_specials(self):
+        vocab = Vocab(["a"])
+        ids = vocab.encode(["a"], add_eos=True)
+        assert vocab.decode(ids, strip_special=False)[-1] == EOS
+
+    def test_from_sequences(self):
+        vocab = Vocab.from_sequences([["a", "b"], ["a"]])
+        assert vocab.id_of("a") < vocab.id_of("b")
+
+    def test_serialization_roundtrip(self):
+        vocab = Vocab(["alpha", "beta"])
+        clone = Vocab.from_dict(vocab.to_dict())
+        assert clone.tokens == vocab.tokens
+        assert clone.id_of("beta") == vocab.id_of("beta")
+
+    def test_deterministic(self):
+        assert Vocab(["x", "y", "x"]).tokens == Vocab(["x", "x", "y"]).tokens
+
+
+def _corpus():
+    patterns = [
+        ["show", "me", "the", "patients"],
+        ["display", "me", "the", "patients"],
+        ["show", "all", "cities"],
+        ["display", "all", "cities"],
+        ["show", "me", "the", "rivers"],
+        ["display", "me", "the", "rivers"],
+        ["count", "the", "mountains"],
+        ["tally", "the", "mountains"],
+    ]
+    return patterns * 6
+
+
+class TestWordEmbeddings:
+    def test_synonyms_close(self):
+        emb = WordEmbeddings.fit(_corpus(), dim=8, min_count=2)
+        assert emb.similarity("show", "display") > emb.similarity("show", "patients")
+
+    def test_unknown_word_zero_vector(self):
+        emb = WordEmbeddings.fit(_corpus(), dim=8, min_count=2)
+        assert not np.any(emb.vector("xyzzy"))
+        assert emb.similarity("xyzzy", "show") == 0.0
+
+    def test_vectors_unit_norm(self):
+        emb = WordEmbeddings.fit(_corpus(), dim=8, min_count=2)
+        norm = np.linalg.norm(emb.vector("show"))
+        assert norm == pytest.approx(1.0, abs=1e-6)
+
+    def test_nearest(self):
+        emb = WordEmbeddings.fit(_corpus(), dim=8, min_count=2)
+        neighbours = [w for w, _ in emb.nearest("show", k=3)]
+        assert "display" in neighbours
+
+    def test_nearest_unknown_word_empty(self):
+        emb = WordEmbeddings.fit(_corpus(), dim=8, min_count=2)
+        assert emb.nearest("xyzzy") == []
+
+    def test_min_count_filters(self):
+        emb = WordEmbeddings.fit([["rare", "words"]], dim=4, min_count=2)
+        assert "rare" not in emb
+
+    def test_empty_corpus(self):
+        emb = WordEmbeddings.fit([], dim=4)
+        assert len(emb) == 0
+        assert emb.vector("x").shape == (4,)
+
+    def test_matrix_for(self):
+        emb = WordEmbeddings.fit(_corpus(), dim=8, min_count=2)
+        matrix = emb.matrix_for(["show", "me"])
+        assert matrix.shape == (2, 8)
+
+    def test_deterministic(self):
+        first = WordEmbeddings.fit(_corpus(), dim=8, min_count=2, seed=4)
+        second = WordEmbeddings.fit(_corpus(), dim=8, min_count=2, seed=4)
+        assert np.allclose(first.vector("show"), second.vector("show"))

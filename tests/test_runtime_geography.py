@@ -1,0 +1,93 @@
+"""Runtime-phase tests on the multi-table geography database.
+
+Exercises the full §4/§5 machinery where it matters most: string
+constants that collide across tables, join expansion, and the complete
+NL -> SQL -> rows lifecycle with a deterministic model.
+"""
+
+import pytest
+
+from repro.core import GenerationConfig
+from repro.db import execute
+from repro.neural import RetrievalModel
+from repro.runtime import Binding, DBPal, ParameterHandler, PostProcessor
+
+
+class TestGeographyAnonymization:
+    def test_state_name_matched(self, geography_db):
+        handler = ParameterHandler(geography_db)
+        state = geography_db.rows("state")[0]["state_name"]
+        result = handler.anonymize(f"show me all cities in {state}")
+        assert "@STATE_NAME" in result.nl
+        assert result.bindings[0].value == state
+
+    def test_population_number_prefers_population_column(self, geography_db):
+        handler = ParameterHandler(geography_db)
+        population = geography_db.rows("city")[0]["population"]
+        result = handler.anonymize(
+            f"cities with population greater than {population}"
+        )
+        binding = result.bindings[0]
+        assert binding.column == "population"
+
+    def test_city_name_matched(self, geography_db):
+        handler = ParameterHandler(geography_db)
+        city = geography_db.rows("city")[0]["city_name"]
+        result = handler.anonymize(f"what is the population of {city}")
+        assert any(b.column == "city_name" for b in result.bindings)
+
+
+class TestGeographyEndToEnd:
+    @pytest.fixture(scope="class")
+    def nlidb(self, geography_db):
+        nlidb = DBPal(geography_db)
+        nlidb.train(
+            RetrievalModel(),
+            config=GenerationConfig(size_slotfills=5, size_tables=3),
+            seed=0,
+        )
+        return nlidb
+
+    def test_single_table_question(self, nlidb, geography_db):
+        rows = nlidb.query("how many cities are there")
+        assert rows == [{"COUNT(*)": geography_db.row_count("city")}]
+
+    def test_join_question_executes(self, nlidb, geography_db):
+        state = geography_db.rows("state")[0]["state_name"]
+        result = nlidb.translate(
+            f"show the city names of all cities whose state state name is {state}"
+        )
+        assert result.ok
+        # Whatever the retrieval model found, the post-processed SQL
+        # executes against the database.
+        execute(result.query, geography_db)
+
+    def test_join_placeholder_resolved_in_final_sql(self, nlidb):
+        # Any translated output must have @JOIN expanded or absent.
+        result = nlidb.translate("what is the average height of all mountains")
+        if result.ok:
+            assert "@JOIN" not in result.sql
+
+    def test_fuzzy_state_constant(self, nlidb, geography_db):
+        state = geography_db.rows("state")[0]["state_name"]
+        misspelled = state[:-1] + "aa"  # light corruption
+        result = nlidb.translate(f"show me all cities in {misspelled}")
+        if result.bindings:
+            assert result.bindings[0].value == state
+
+
+class TestJoinRepairAgainstData:
+    def test_three_table_join_expansion_executes(self, geography, geography_db):
+        post = PostProcessor(geography)
+        processed = post.process(
+            "SELECT river.river_name FROM @JOIN WHERE city.population > @CITY.POPULATION",
+            [],
+        )
+        # river-state-city path: all three tables present.
+        assert set(processed.query.from_tables) == {"river", "state", "city"}
+        # With a binding it becomes executable.
+        processed = post.process(
+            "SELECT river.river_name FROM @JOIN WHERE city.population > @CITY.POPULATION",
+            [Binding(placeholder="CITY.POPULATION", value=0, column="population")],
+        )
+        execute(processed.query, geography_db)

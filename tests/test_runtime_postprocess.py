@@ -1,0 +1,146 @@
+"""Tests for the runtime post-processor (§4.2, §5.1)."""
+
+import pytest
+
+from repro.runtime import PostProcessor
+from repro.runtime.parameter_handler import Binding
+from repro.sql import parse, to_sql
+
+
+@pytest.fixture()
+def post(geography):
+    return PostProcessor(geography)
+
+
+@pytest.fixture()
+def patients_post(patients):
+    return PostProcessor(patients)
+
+
+class TestParsing:
+    def test_unparseable_returns_none(self, post):
+        assert post.process("garbage output !!") is None
+        assert post.process(None) is None
+        assert post.process("") is None
+
+    def test_clean_query_unchanged(self, post):
+        result = post.process("SELECT * FROM city")
+        assert result.sql == "SELECT * FROM city"
+        assert not result.repaired
+
+
+class TestJoinExpansion:
+    def test_direct_join_expanded(self, post):
+        result = post.process(
+            "SELECT city.city_name FROM @JOIN WHERE state.population > @STATE.POPULATION"
+        )
+        assert result.repaired
+        assert set(result.query.from_tables) == {"city", "state"}
+        # The FK condition was added.
+        assert "city.state_name = state.state_name" in result.sql
+
+    def test_multi_hop_join_adds_intermediate(self, post):
+        result = post.process(
+            "SELECT city.city_name FROM @JOIN WHERE mountain.height > @MOUNTAIN.HEIGHT"
+        )
+        assert set(result.query.from_tables) == {"city", "state", "mountain"}
+
+    def test_placeholder_table_hints_used(self, post):
+        # Only the placeholder mentions the second table.
+        result = post.process(
+            "SELECT city.city_name FROM @JOIN WHERE state_name = @STATE.STATE_NAME"
+        )
+        assert "state" in result.query.from_tables
+
+    def test_unexpandable_join_kept(self, patients_post):
+        # No qualified refs at all: repair cannot infer tables.
+        result = patients_post.process("SELECT * FROM @JOIN WHERE age = @AGE")
+        assert result.query.uses_join_placeholder
+
+
+class TestFromRepair:
+    def test_missing_table_added(self, post):
+        result = post.process(
+            "SELECT city.city_name FROM state WHERE city.population > @CITY.POPULATION"
+        )
+        assert set(result.query.from_tables) == {"city", "state"}
+        assert result.repaired
+
+    def test_unqualified_column_resolves_table(self, patients_post):
+        # Model emitted the wrong table name entirely.
+        result = patients_post.process("SELECT diagnosis FROM patients")
+        assert result.query.from_tables == ("patients",)
+
+    def test_wrong_single_table_replaced(self, post):
+        # 'length' only exists in river.
+        result = post.process("SELECT length FROM state")
+        # state has no 'length'; river added via join path.
+        assert "river" in result.query.from_tables
+
+
+class TestPlaceholderRestoration:
+    def test_exact_name_binding(self, patients_post):
+        result = patients_post.process(
+            "SELECT * FROM patients WHERE age = @AGE",
+            [Binding(placeholder="AGE", value=30, column="age")],
+        )
+        assert result.sql == "SELECT * FROM patients WHERE age = 30"
+
+    def test_column_segment_binding(self, post):
+        result = post.process(
+            "SELECT * FROM @JOIN WHERE state.population > @STATE.POPULATION",
+            [Binding(placeholder="POPULATION", value=5000, column="population")],
+        )
+        assert "> 5000" in result.sql
+
+    def test_positional_fallback(self, patients_post):
+        result = patients_post.process(
+            "SELECT * FROM patients WHERE diagnosis = @DIAGNOSIS",
+            [Binding(placeholder="NUM", value="flu")],
+        )
+        assert "= 'flu'" in result.sql
+
+    def test_low_high_bindings(self, patients_post):
+        result = patients_post.process(
+            "SELECT COUNT(*) FROM patients WHERE age BETWEEN @AGE.LOW AND @AGE.HIGH",
+            [
+                Binding(placeholder="AGE.LOW", value=20, column="age"),
+                Binding(placeholder="AGE.HIGH", value=60, column="age"),
+            ],
+        )
+        assert "BETWEEN 20 AND 60" in result.sql
+
+    def test_unresolved_placeholder_kept_visible(self, patients_post):
+        result = patients_post.process("SELECT * FROM patients WHERE age = @AGE", [])
+        assert "@AGE" in result.sql
+
+    def test_nested_query_bindings(self, patients_post):
+        result = patients_post.process(
+            "SELECT name FROM patients WHERE length_of_stay = "
+            "(SELECT MAX(length_of_stay) FROM patients WHERE diagnosis = @DIAGNOSIS)",
+            [Binding(placeholder="DIAGNOSIS", value="flu", column="diagnosis")],
+        )
+        assert "'flu'" in result.sql
+
+    def test_each_binding_used_once(self, patients_post):
+        result = patients_post.process(
+            "SELECT * FROM patients WHERE age > @AGE OR length_of_stay > @LENGTH_OF_STAY",
+            [
+                Binding(placeholder="AGE", value=30, column="age"),
+                Binding(placeholder="LENGTH_OF_STAY", value=7, column="length_of_stay"),
+            ],
+        )
+        assert "age > 30" in result.sql
+        assert "length_of_stay > 7" in result.sql
+
+
+class TestEndToEndRepairedExecution:
+    def test_expanded_join_executes(self, post, geography_db):
+        from repro.db import execute
+
+        result = post.process(
+            "SELECT city.city_name FROM @JOIN WHERE state.population > @STATE.POPULATION",
+            [Binding(placeholder="STATE.POPULATION", value=0, column="population")],
+        )
+        rows = execute(result.query, geography_db)
+        assert rows  # every city joins to some state with population > 0

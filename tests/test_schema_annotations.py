@@ -1,0 +1,85 @@
+"""Tests for the optional schema annotation pass."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    ColumnAnnotation,
+    ForeignKey,
+    Schema,
+    Table,
+    TableAnnotation,
+    annotate,
+    integer,
+    text,
+)
+
+
+def base_schema():
+    return Schema(
+        "s",
+        [Table("emp", [integer("emp_id", primary_key=True), text("nm"), integer("sal")])],
+    )
+
+
+class TestAnnotate:
+    def test_table_annotation_applied(self):
+        annotated = annotate(
+            base_schema(), {"emp": TableAnnotation(annotation="employee")}
+        )
+        assert annotated.table("emp").annotation == "employee"
+
+    def test_column_annotation_applied(self):
+        annotated = annotate(
+            base_schema(),
+            {
+                "emp": TableAnnotation(
+                    columns={
+                        "nm": ColumnAnnotation(annotation="name", synonyms=("full name",)),
+                        "sal": ColumnAnnotation(annotation="salary", domain="salary"),
+                    }
+                )
+            },
+        )
+        column = annotated.table("emp").column("nm")
+        assert column.annotation == "name"
+        assert column.synonyms == ("full name",)
+        assert annotated.table("emp").column("sal").domain == "salary"
+
+    def test_unannotated_elements_unchanged(self):
+        annotated = annotate(
+            base_schema(), {"emp": TableAnnotation(annotation="employee")}
+        )
+        assert annotated.table("emp").column("sal").annotation == "sal"
+
+    def test_original_schema_untouched(self):
+        schema = base_schema()
+        annotate(schema, {"emp": TableAnnotation(annotation="employee")})
+        assert schema.table("emp").annotation == "emp"
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SchemaError):
+            annotate(base_schema(), {"nope": TableAnnotation(annotation="x")})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            annotate(
+                base_schema(),
+                {"emp": TableAnnotation(columns={"nope": ColumnAnnotation()})},
+            )
+
+    def test_primary_key_preserved(self):
+        annotated = annotate(base_schema(), {})
+        assert annotated.table("emp").column("emp_id").primary_key
+
+    def test_foreign_keys_preserved(self):
+        schema = Schema(
+            "s2",
+            [
+                Table("a", [integer("a_id", primary_key=True), integer("b_id")]),
+                Table("b", [integer("b_id", primary_key=True)]),
+            ],
+            [ForeignKey("a", "b_id", "b", "b_id")],
+        )
+        annotated = annotate(schema, {})
+        assert len(annotated.foreign_keys) == 1

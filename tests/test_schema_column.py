@@ -1,0 +1,90 @@
+"""Tests for repro.schema.column."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.column import (
+    KNOWN_DOMAINS,
+    Column,
+    ColumnType,
+    date,
+    floating,
+    integer,
+    text,
+)
+
+
+class TestColumnType:
+    def test_numeric_types(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+
+    def test_non_numeric_types(self):
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.DATE.is_numeric
+
+
+class TestColumn:
+    def test_default_annotation_from_name(self):
+        column = Column("length_of_stay", ColumnType.INTEGER)
+        assert column.annotation == "length of stay"
+
+    def test_explicit_annotation_preserved(self):
+        column = Column("los", ColumnType.INTEGER, annotation="length of stay")
+        assert column.annotation == "length of stay"
+
+    def test_nl_phrases_include_synonyms(self):
+        column = Column("age", ColumnType.INTEGER, synonyms=("years",))
+        assert column.nl_phrases == ("age", "years")
+
+    def test_placeholder_uppercase(self):
+        assert Column("age", ColumnType.INTEGER).placeholder == "@AGE"
+        assert Column("state_name").placeholder == "@STATE_NAME"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name")
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("age", ColumnType.INTEGER, domain="nonsense")
+
+    def test_known_domain_accepted(self):
+        column = Column("age", ColumnType.INTEGER, domain="age")
+        assert column.domain == "age"
+
+    def test_is_numeric_proxy(self):
+        assert integer("a").is_numeric
+        assert floating("b").is_numeric
+        assert not text("c").is_numeric
+        assert not date("d").is_numeric
+
+    def test_immutability(self):
+        column = integer("age")
+        with pytest.raises(AttributeError):
+            column.name = "other"
+
+
+class TestKnownDomains:
+    def test_every_domain_has_two_phrases(self):
+        for domain, phrases in KNOWN_DOMAINS.items():
+            assert len(phrases) == 2, domain
+            assert all(isinstance(p, str) and p for p in phrases)
+
+    def test_age_domain_phrases(self):
+        assert KNOWN_DOMAINS["age"] == ("older than", "younger than")
+
+
+class TestShorthands:
+    def test_types(self):
+        assert integer("a").ctype is ColumnType.INTEGER
+        assert floating("a").ctype is ColumnType.FLOAT
+        assert text("a").ctype is ColumnType.TEXT
+        assert date("a").ctype is ColumnType.DATE
+
+    def test_kwargs_forwarded(self):
+        column = integer("age", domain="age", primary_key=True)
+        assert column.domain == "age"
+        assert column.primary_key

@@ -1,0 +1,107 @@
+"""Tests for repro.schema.schema — lookup and join-graph reasoning."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import ForeignKey, Schema, Table, integer, text
+
+
+def linear_schema():
+    """a -> b -> c: a chain of foreign keys."""
+    a = Table("a", [integer("a_id", primary_key=True), integer("b_id")])
+    b = Table("b", [integer("b_id", primary_key=True), integer("c_id")])
+    c = Table("c", [integer("c_id", primary_key=True), text("name")])
+    return Schema(
+        "chain",
+        [a, b, c],
+        [
+            ForeignKey("a", "b_id", "b", "b_id"),
+            ForeignKey("b", "c_id", "c", "c_id"),
+        ],
+    )
+
+
+class TestSchemaLookup:
+    def test_table_lookup(self, patients):
+        assert patients.table("patients").name == "patients"
+
+    def test_missing_table_raises(self, patients):
+        with pytest.raises(SchemaError):
+            patients.table("doctors")
+
+    def test_contains(self, patients):
+        assert "patients" in patients
+        assert "doctors" not in patients
+
+    def test_column_lookup(self, patients):
+        assert patients.column("patients", "age").name == "age"
+
+    def test_tables_with_column(self, geography):
+        tables = geography.tables_with_column("state_name")
+        assert {t.name for t in tables} == {"state", "city", "mountain", "river"}
+
+    def test_qualified_columns_cover_all(self, patients):
+        pairs = patients.qualified_columns()
+        assert len(pairs) == len(patients.table("patients").columns)
+
+    def test_duplicate_tables_rejected(self):
+        t = Table("t", [text("a")])
+        with pytest.raises(SchemaError):
+            Schema("s", [t, Table("t", [text("b")])])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("s", [])
+
+    def test_fk_validation(self):
+        t = Table("t", [text("a")])
+        with pytest.raises(SchemaError):
+            Schema("s", [t], [ForeignKey("t", "a", "missing", "x")])
+        with pytest.raises(SchemaError):
+            Schema("s", [t], [ForeignKey("t", "nope", "t", "a")])
+
+
+class TestJoinPath:
+    def test_single_table_no_path(self, geography):
+        assert geography.join_path(["city"]) == []
+
+    def test_direct_edge(self, geography):
+        path = geography.join_path(["city", "state"])
+        assert len(path) == 1
+        assert {path[0].table, path[0].ref_table} == {"city", "state"}
+
+    def test_two_hop_path(self, geography):
+        path = geography.join_path(["city", "mountain"])
+        # city - state - mountain
+        assert len(path) == 2
+        tables = {t for fk in path for t in (fk.table, fk.ref_table)}
+        assert tables == {"city", "state", "mountain"}
+
+    def test_chain_path(self):
+        schema = linear_schema()
+        path = schema.join_path(["a", "c"])
+        assert len(path) == 2
+
+    def test_join_tables_includes_intermediates(self, geography):
+        tables = geography.join_tables(["city", "mountain"])
+        assert set(tables) == {"city", "state", "mountain"}
+
+    def test_unreachable_tables_raise(self):
+        a = Table("a", [integer("x")])
+        b = Table("b", [integer("y")])
+        schema = Schema("disconnected", [a, b])
+        with pytest.raises(SchemaError):
+            schema.join_path(["a", "b"])
+
+    def test_unknown_table_raises(self, geography):
+        with pytest.raises(SchemaError):
+            geography.join_path(["city", "nonexistent"])
+
+    def test_deduplicates_input(self, geography):
+        path = geography.join_path(["city", "city", "state"])
+        assert len(path) == 1
+
+    def test_deterministic(self, geography):
+        first = geography.join_path(["river", "mountain"])
+        second = geography.join_path(["river", "mountain"])
+        assert first == second

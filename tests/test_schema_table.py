@@ -1,0 +1,78 @@
+"""Tests for repro.schema.table."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import Table, integer, text
+from repro.schema.table import ForeignKey
+
+
+def make_table():
+    return Table(
+        "patients",
+        [
+            integer("patient_id", primary_key=True),
+            text("name"),
+            integer("age", domain="age"),
+        ],
+        annotation="patient",
+        synonyms=("person",),
+    )
+
+
+class TestTable:
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("age").name == "age"
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().column("nope")
+
+    def test_contains(self):
+        table = make_table()
+        assert "age" in table
+        assert "salary" not in table
+
+    def test_iteration_order(self):
+        assert [c.name for c in make_table()] == ["patient_id", "name", "age"]
+
+    def test_column_names(self):
+        assert make_table().column_names == ("patient_id", "name", "age")
+
+    def test_numeric_and_text_split(self):
+        table = make_table()
+        assert {c.name for c in table.numeric_columns} == {"patient_id", "age"}
+        assert {c.name for c in table.text_columns} == {"name"}
+
+    def test_primary_key(self):
+        assert make_table().primary_key.name == "patient_id"
+
+    def test_no_primary_key(self):
+        table = Table("t", [text("a")])
+        assert table.primary_key is None
+
+    def test_nl_phrases(self):
+        assert make_table().nl_phrases == ("patient", "person")
+
+    def test_default_annotation(self):
+        table = Table("order_items", [text("sku")])
+        assert table.annotation == "order items"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [text("a"), text("a")])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("bad name", [text("a")])
+
+
+class TestForeignKey:
+    def test_str(self):
+        fk = ForeignKey("orders", "customer_id", "customer", "customer_id")
+        assert str(fk) == "orders.customer_id -> customer.customer_id"

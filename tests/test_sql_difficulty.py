@@ -1,0 +1,77 @@
+"""Tests for the Spider-style difficulty classifier."""
+
+import pytest
+
+from repro.sql import Difficulty, classify, parse
+
+
+@pytest.mark.parametrize(
+    "sql,expected",
+    [
+        # easy: at most one component1, nothing else
+        ("SELECT name FROM t", Difficulty.EASY),
+        ("SELECT * FROM t WHERE age = 1", Difficulty.EASY),
+        ("SELECT COUNT(*) FROM t", Difficulty.EASY),
+        ("SELECT AVG(age) FROM t WHERE d = 'x'", Difficulty.EASY),
+        # medium: two components or a couple of 'others'
+        ("SELECT name, age FROM t WHERE age > 1", Difficulty.MEDIUM),
+        ("SELECT d, COUNT(*) FROM t GROUP BY d", Difficulty.MEDIUM),
+        ("SELECT name FROM t WHERE a = 1 AND b = 2", Difficulty.MEDIUM),
+        ("SELECT * FROM a, b WHERE a.x = b.y", Difficulty.MEDIUM),
+        # hard: 3 components or nesting
+        (
+            "SELECT name FROM t WHERE age = (SELECT MAX(age) FROM t)",
+            Difficulty.HARD,
+        ),
+        (
+            "SELECT d, AVG(age) FROM t WHERE x = 1 GROUP BY d ORDER BY AVG(age) DESC",
+            Difficulty.HARD,
+        ),
+        # very hard: nesting plus other machinery
+        (
+            "SELECT d, COUNT(*) FROM t WHERE age > (SELECT AVG(age) FROM t) "
+            "GROUP BY d ORDER BY COUNT(*) DESC LIMIT 3",
+            Difficulty.VERY_HARD,
+        ),
+        (
+            "SELECT a.g, AVG(b.x) FROM a, b WHERE a.id = b.id AND "
+            "b.x > (SELECT AVG(x) FROM b) GROUP BY a.g",
+            Difficulty.VERY_HARD,
+        ),
+    ],
+)
+def test_classification(sql, expected):
+    assert classify(parse(sql)) is expected
+
+
+def test_join_placeholder_counts_as_join():
+    with_join = classify(parse("SELECT a.x FROM @JOIN WHERE b.y = @B.Y"))
+    without = classify(parse("SELECT x FROM a WHERE y = @Y"))
+    assert with_join is Difficulty.MEDIUM
+    assert without is Difficulty.EASY
+
+
+def test_or_and_like_add_difficulty():
+    easy = classify(parse("SELECT * FROM t WHERE a = 1"))
+    harder = classify(parse("SELECT * FROM t WHERE a = 1 OR b = 2"))
+    assert easy is Difficulty.EASY
+    assert harder is not Difficulty.EASY
+
+
+def test_monotone_under_added_clauses():
+    """Adding clauses never reduces the difficulty rank."""
+    order = [
+        Difficulty.EASY,
+        Difficulty.MEDIUM,
+        Difficulty.HARD,
+        Difficulty.VERY_HARD,
+    ]
+    base = classify(parse("SELECT name FROM t WHERE a = 1"))
+    more = classify(parse("SELECT name FROM t WHERE a = 1 GROUP BY name"))
+    most = classify(
+        parse(
+            "SELECT name FROM t WHERE a = 1 GROUP BY name "
+            "ORDER BY COUNT(*) DESC LIMIT 1"
+        )
+    )
+    assert order.index(base) <= order.index(more) <= order.index(most)

@@ -1,0 +1,98 @@
+"""Tests for the semantic equivalence checker (Cosette stand-in)."""
+
+from repro.db import populate
+from repro.schema import patients_schema
+from repro.sql import EquivalenceChecker, parse, structurally_equivalent
+
+
+def checker():
+    return EquivalenceChecker(
+        [populate(patients_schema(), rows_per_table=25, seed=s) for s in (1, 2)]
+    )
+
+
+class TestStructural:
+    def test_commutative_and(self):
+        assert structurally_equivalent(
+            parse("SELECT * FROM patients WHERE age = 1 AND gender = 'm'"),
+            parse("SELECT * FROM patients WHERE gender = 'm' AND age = 1"),
+        )
+
+    def test_flip(self):
+        assert structurally_equivalent(
+            parse("SELECT * FROM patients WHERE 18 < age"),
+            parse("SELECT * FROM patients WHERE age > 18"),
+        )
+
+    def test_not_equivalent(self):
+        assert not structurally_equivalent(
+            parse("SELECT * FROM patients WHERE age > 18"),
+            parse("SELECT * FROM patients WHERE age < 18"),
+        )
+
+
+class TestExecutionBased:
+    def test_between_equals_range(self):
+        """BETWEEN and the equivalent conjunction differ structurally but
+        agree on all sample databases."""
+        chk = checker()
+        assert chk.equivalent(
+            parse("SELECT name FROM patients WHERE age BETWEEN 20 AND 60"),
+            parse("SELECT name FROM patients WHERE age >= 20 AND age <= 60"),
+        )
+
+    def test_distinct_detects_difference(self):
+        chk = checker()
+        # gender has duplicates, so DISTINCT changes the multiset.
+        assert not chk.equivalent(
+            parse("SELECT gender FROM patients"),
+            parse("SELECT DISTINCT gender FROM patients"),
+        )
+
+    def test_different_filters_not_equivalent(self):
+        chk = checker()
+        assert not chk.equivalent(
+            parse("SELECT name FROM patients WHERE age > 20"),
+            parse("SELECT name FROM patients WHERE age > 80"),
+        )
+
+    def test_in_list_vs_or(self):
+        chk = checker()
+        assert chk.equivalent(
+            parse("SELECT name FROM patients WHERE age IN (20, 30)"),
+            parse("SELECT name FROM patients WHERE age = 20 OR age = 30"),
+        )
+
+    def test_order_insensitive_without_order_by(self):
+        chk = checker()
+        # Same rows; projection order of rows is irrelevant without ORDER BY.
+        assert chk.equivalent(
+            parse("SELECT name FROM patients WHERE age >= 0"),
+            parse("SELECT name FROM patients"),
+        )
+
+    def test_unexecutable_query_not_certified(self):
+        chk = checker()
+        # Unresolved placeholders cannot be executed -> not equivalent.
+        assert not chk.equivalent(
+            parse("SELECT name FROM patients WHERE age = @AGE"),
+            parse("SELECT name FROM patients WHERE @AGE = age AND 1 = 1"),
+        )
+
+    def test_placeholder_structural_still_works(self):
+        chk = checker()
+        assert chk.equivalent(
+            parse("SELECT name FROM patients WHERE age = @AGE"),
+            parse("SELECT name FROM patients WHERE @AGE = age"),
+        )
+
+    def test_no_databases_falls_back_to_structural(self):
+        chk = EquivalenceChecker([])
+        assert chk.equivalent(
+            parse("SELECT * FROM patients WHERE 1 < age"),
+            parse("SELECT * FROM patients WHERE age > 1"),
+        )
+        assert not chk.equivalent(
+            parse("SELECT name FROM patients WHERE age BETWEEN 20 AND 60"),
+            parse("SELECT name FROM patients WHERE age >= 20 AND age <= 60"),
+        )

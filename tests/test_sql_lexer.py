@@ -1,0 +1,105 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenType.KEYWORD, "select")
+        ] * 3
+
+    def test_identifiers_lowercased(self):
+        assert kinds("Patients AGE_x") == [
+            (TokenType.IDENT, "patients"),
+            (TokenType.IDENT, "age_x"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 -7") == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "3.14"),
+            (TokenType.NUMBER, "-7"),
+        ]
+
+    def test_number_then_dot_ident(self):
+        # `1.name` must lex as NUMBER DOT IDENT, not a malformed float.
+        assert kinds("1.name") == [
+            (TokenType.NUMBER, "1"),
+            (TokenType.PUNCT, "."),
+            (TokenType.IDENT, "name"),
+        ]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'o''brien'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_placeholders(self):
+        assert kinds("@AGE @STATE.NAME @JOIN") == [
+            (TokenType.PLACEHOLDER, "AGE"),
+            (TokenType.PLACEHOLDER, "STATE.NAME"),
+            (TokenType.PLACEHOLDER, "JOIN"),
+        ]
+
+    def test_empty_placeholder_rejected(self):
+        with pytest.raises(SqlLexError):
+            tokenize("@ ")
+
+    def test_operators_normalized(self):
+        assert kinds("= <> != < <= > >=") == [
+            (TokenType.OP, "="),
+            (TokenType.OP, "<>"),
+            (TokenType.OP, "<>"),  # != normalized
+            (TokenType.OP, "<"),
+            (TokenType.OP, "<="),
+            (TokenType.OP, ">"),
+            (TokenType.OP, ">="),
+        ]
+
+    def test_star_and_punct(self):
+        assert kinds("(*, .)") == [
+            (TokenType.PUNCT, "("),
+            (TokenType.STAR, "*"),
+            (TokenType.PUNCT, ","),
+            (TokenType.PUNCT, "."),
+            (TokenType.PUNCT, ")"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError) as excinfo:
+            tokenize("SELECT #")
+        assert excinfo.value.position == 7
+
+    def test_eof_token_always_last(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT name")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestTokenMatches:
+    def test_matches_type_and_value(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "select")
+        assert not token.matches(TokenType.KEYWORD, "from")
+        assert not token.matches(TokenType.IDENT)

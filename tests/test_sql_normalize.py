@@ -1,0 +1,144 @@
+"""Tests for SQL canonicalization."""
+
+from repro.sql import canonical_sql, normalize, parse
+
+
+def same(a, b):
+    return canonical_sql(parse(a)) == canonical_sql(parse(b))
+
+
+class TestComparisonNormalization:
+    def test_flip_literal_left(self):
+        assert same(
+            "SELECT * FROM t WHERE 18 < age",
+            "SELECT * FROM t WHERE age > 18",
+        )
+
+    def test_flip_all_operators(self):
+        for flipped, canonical in [
+            ("18 <= age", "age >= 18"),
+            ("18 > age", "age < 18"),
+            ("18 = age", "age = 18"),
+            ("18 <> age", "age <> 18"),
+        ]:
+            assert same(
+                f"SELECT * FROM t WHERE {flipped}",
+                f"SELECT * FROM t WHERE {canonical}",
+            )
+
+    def test_join_condition_ordered(self):
+        assert same(
+            "SELECT * FROM a, b WHERE b.y = a.x",
+            "SELECT * FROM a, b WHERE a.x = b.y",
+        )
+
+
+class TestBooleanNormalization:
+    def test_and_commutative(self):
+        assert same(
+            "SELECT * FROM t WHERE a = 1 AND b = 2",
+            "SELECT * FROM t WHERE b = 2 AND a = 1",
+        )
+
+    def test_or_commutative(self):
+        assert same(
+            "SELECT * FROM t WHERE a = 1 OR b = 2",
+            "SELECT * FROM t WHERE b = 2 OR a = 1",
+        )
+
+    def test_nested_and_flattened(self):
+        assert same(
+            "SELECT * FROM t WHERE (a = 1 AND b = 2) AND c = 3",
+            "SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3",
+        )
+
+    def test_duplicate_conjuncts_collapsed(self):
+        assert same(
+            "SELECT * FROM t WHERE a = 1 AND a = 1",
+            "SELECT * FROM t WHERE a = 1",
+        )
+
+    def test_double_negation(self):
+        assert same(
+            "SELECT * FROM t WHERE NOT (NOT (a = 1))",
+            "SELECT * FROM t WHERE a = 1",
+        )
+
+    def test_not_comparison_folds(self):
+        assert same(
+            "SELECT * FROM t WHERE NOT (age > 18)",
+            "SELECT * FROM t WHERE age <= 18",
+        )
+
+    def test_not_like_folds(self):
+        assert same(
+            "SELECT * FROM t WHERE NOT (name LIKE 'a%')",
+            "SELECT * FROM t WHERE name NOT LIKE 'a%'",
+        )
+
+    def test_not_exists_folds(self):
+        assert same(
+            "SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)",
+            "SELECT * FROM t WHERE NOT (EXISTS (SELECT * FROM u))",
+        )
+
+
+class TestMiscNormalization:
+    def test_single_value_in_becomes_eq(self):
+        assert same(
+            "SELECT * FROM t WHERE x IN (5)",
+            "SELECT * FROM t WHERE x = 5",
+        )
+
+    def test_in_values_sorted(self):
+        assert same(
+            "SELECT * FROM t WHERE x IN (3, 1, 2)",
+            "SELECT * FROM t WHERE x IN (1, 2, 3)",
+        )
+
+    def test_redundant_qualifier_dropped(self):
+        assert same(
+            "SELECT t.name FROM t WHERE t.age = 1",
+            "SELECT name FROM t WHERE age = 1",
+        )
+
+    def test_qualifier_kept_for_multiple_tables(self):
+        assert not same(
+            "SELECT a.x FROM a, b",
+            "SELECT b.x FROM a, b",
+        )
+
+    def test_integral_float_collapsed(self):
+        assert same(
+            "SELECT * FROM t WHERE x = 18.0",
+            "SELECT * FROM t WHERE x = 18",
+        )
+
+    def test_duplicate_select_items_collapsed(self):
+        assert same("SELECT name, name FROM t", "SELECT name FROM t")
+
+    def test_select_order_significant(self):
+        assert not same("SELECT a, b FROM t", "SELECT b, a FROM t")
+
+    def test_normalization_idempotent(self):
+        query = parse(
+            "SELECT t.name FROM t WHERE 18 < t.age AND (b = 2 OR a = 1)"
+        )
+        once = normalize(query)
+        assert normalize(once) == once
+
+    def test_subquery_normalized(self):
+        assert same(
+            "SELECT name FROM t WHERE age = (SELECT MAX(age) FROM t WHERE 1 = x)",
+            "SELECT name FROM t WHERE age = (SELECT MAX(age) FROM t WHERE x = 1)",
+        )
+
+    def test_different_queries_stay_different(self):
+        assert not same(
+            "SELECT * FROM t WHERE age > 18",
+            "SELECT * FROM t WHERE age >= 18",
+        )
+        assert not same(
+            "SELECT COUNT(*) FROM t",
+            "SELECT SUM(age) FROM t",
+        )

@@ -1,0 +1,89 @@
+"""Tests for query-pattern signatures (Table 4 machinery)."""
+
+from repro.sql import parse, pattern_set, pattern_signature
+
+
+def sig(sql):
+    return pattern_signature(parse(sql))
+
+
+class TestSignatureInvariance:
+    def test_identifier_renaming_invariant(self):
+        assert sig("SELECT name FROM patients WHERE age = @AGE") == sig(
+            "SELECT title FROM movies WHERE year = @YEAR"
+        )
+
+    def test_constant_invariant(self):
+        assert sig("SELECT * FROM t WHERE x = 5") == sig(
+            "SELECT * FROM t WHERE x = @X"
+        )
+        assert sig("SELECT * FROM t WHERE x = 'a'") == sig(
+            "SELECT * FROM t WHERE x = 7"
+        )
+
+    def test_comparison_direction_invariant(self):
+        # After normalization both compare column CMP value.
+        assert sig("SELECT * FROM t WHERE x > 5") == sig(
+            "SELECT * FROM t WHERE 5 < x"
+        )
+
+    def test_conjunct_order_invariant(self):
+        assert sig("SELECT * FROM t WHERE a = 1 AND b > 2") == sig(
+            "SELECT * FROM t WHERE b > 2 AND a = 1"
+        )
+
+
+class TestSignatureDiscrimination:
+    def test_aggregate_function_matters(self):
+        assert sig("SELECT AVG(x) FROM t") != sig("SELECT SUM(x) FROM t")
+        assert sig("SELECT COUNT(*) FROM t") != sig("SELECT COUNT(x) FROM t")
+
+    def test_operator_class_matters(self):
+        assert sig("SELECT * FROM t WHERE x = 1") != sig(
+            "SELECT * FROM t WHERE x > 1"
+        )
+
+    def test_nesting_matters(self):
+        assert sig("SELECT name FROM t WHERE x = 1") != sig(
+            "SELECT name FROM t WHERE x = (SELECT MAX(x) FROM t)"
+        )
+
+    def test_negation_matters(self):
+        assert sig("SELECT * FROM t WHERE x LIKE 'a'") != sig(
+            "SELECT * FROM t WHERE x NOT LIKE 'a'"
+        )
+
+    def test_groupby_matters(self):
+        assert sig("SELECT d, COUNT(*) FROM t GROUP BY d") != sig(
+            "SELECT d, COUNT(*) FROM t GROUP BY d HAVING COUNT(*) > 1"
+        )
+
+    def test_limit_and_order_matter(self):
+        plain = sig("SELECT * FROM t")
+        ordered = sig("SELECT * FROM t ORDER BY x")
+        limited = sig("SELECT * FROM t ORDER BY x LIMIT 1")
+        assert len({plain, ordered, limited}) == 3
+
+    def test_join_matters(self):
+        assert sig("SELECT a.x FROM a, b WHERE a.i = b.i") != sig(
+            "SELECT x FROM a"
+        )
+
+    def test_between_vs_two_comparisons(self):
+        assert sig("SELECT * FROM t WHERE x BETWEEN 1 AND 2") != sig(
+            "SELECT * FROM t WHERE x >= 1 AND x <= 2"
+        )
+
+
+class TestPatternSet:
+    def test_accepts_strings_and_queries(self):
+        patterns = pattern_set(
+            ["SELECT * FROM t", parse("SELECT * FROM u")]
+        )
+        assert len(patterns) == 1  # same pattern
+
+    def test_distinct_patterns_counted(self):
+        patterns = pattern_set(
+            ["SELECT * FROM t", "SELECT COUNT(*) FROM t", "SELECT x FROM t"]
+        )
+        assert len(patterns) == 3

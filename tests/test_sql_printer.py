@@ -1,0 +1,68 @@
+"""Tests for the SQL printer."""
+
+import pytest
+
+from repro.sql import parse, to_sql
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT * FROM patients",
+        "SELECT name, age FROM patients",
+        "SELECT DISTINCT diagnosis FROM patients",
+        "SELECT COUNT(*) FROM patients",
+        "SELECT AVG(age) FROM patients WHERE diagnosis = @DIAGNOSIS",
+        "SELECT COUNT(DISTINCT name) FROM patients",
+        "SELECT * FROM patients WHERE age BETWEEN @AGE.LOW AND @AGE.HIGH",
+        "SELECT * FROM patients WHERE name LIKE 'a%'",
+        "SELECT * FROM patients WHERE name NOT LIKE 'a%'",
+        "SELECT * FROM patients WHERE x IN (1, 2, 3)",
+        "SELECT * FROM patients WHERE x NOT IN (1, 2)",
+        "SELECT name FROM patients WHERE age = (SELECT MAX(age) FROM patients)",
+        "SELECT * FROM a WHERE EXISTS (SELECT * FROM b WHERE z = 1)",
+        "SELECT * FROM a WHERE NOT EXISTS (SELECT * FROM b)",
+        "SELECT d, COUNT(*) FROM t GROUP BY d HAVING COUNT(*) > @NUM",
+        "SELECT * FROM t ORDER BY age DESC LIMIT 3",
+        "SELECT AVG(patient.age) FROM @JOIN WHERE doctor.name = @DOCTOR.NAME",
+        "SELECT a.x, b.y FROM a, b WHERE a.id = b.id",
+    ],
+)
+def test_roundtrip_identity(sql):
+    """Parsing printed output reproduces the same AST."""
+    query = parse(sql)
+    assert parse(to_sql(query)) == query
+
+
+def test_canonical_text_exact():
+    assert (
+        to_sql(parse("select name from patients where age=20"))
+        == "SELECT name FROM patients WHERE age = 20"
+    )
+
+
+def test_or_in_and_parenthesized():
+    sql = "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)"
+    printed = to_sql(parse(sql))
+    assert "(b = 2 OR c = 3)" in printed
+    assert parse(printed) == parse(sql)
+
+
+def test_top_level_or_not_parenthesized():
+    printed = to_sql(parse("SELECT * FROM t WHERE a = 1 OR b = 2"))
+    assert printed == "SELECT * FROM t WHERE a = 1 OR b = 2"
+
+
+def test_string_escaping():
+    printed = to_sql(parse("SELECT * FROM t WHERE name = 'o''brien'"))
+    assert "'o''brien'" in printed
+    assert parse(printed).where.right.value == "o'brien"
+
+
+def test_not_predicate_printed():
+    sql = "SELECT * FROM t WHERE NOT (a = 1 OR b = 2)"
+    assert parse(to_sql(parse(sql))) == parse(sql)
+
+
+def test_float_rendering():
+    assert to_sql(parse("SELECT * FROM t WHERE x = 1.5")).endswith("x = 1.5")

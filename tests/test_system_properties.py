@@ -1,0 +1,161 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check invariants that span subsystems: executor semantics,
+generator-output well-formedness, schema-slot anonymization
+round-trips, and the pre-/post-processing constant cycle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import GenerationConfig, Generator
+from repro.db import execute, populate
+from repro.neural import SchemaMap, SqlDecodingAutomaton
+from repro.neural.base import sql_to_tokens, tokens_to_sql
+from repro.nlp import lemmatize
+from repro.runtime import ParameterHandler, PostProcessor
+from repro.schema import load_schema, patients_schema
+from repro.sql import parse, to_sql, try_parse
+
+_SCHEMA = patients_schema()
+_DB = populate(_SCHEMA, rows_per_table=30, seed=3)
+_GEO = load_schema("geography")
+_GEO_DB = populate(_GEO, rows_per_table=20, seed=4)
+
+# A pool of generated (executable after binding) queries to draw from.
+_PAIR_POOL = Generator(_SCHEMA, GenerationConfig(size_slotfills=3), seed=11).generate()
+_GEO_POOL = Generator(
+    _GEO, GenerationConfig(size_slotfills=2, size_tables=3), seed=12
+).generate()
+
+
+class TestExecutorProperties:
+    @given(st.integers(0, 98))
+    @settings(max_examples=30, deadline=None)
+    def test_where_filters_are_subsets(self, threshold):
+        everything = execute(parse("SELECT * FROM patients"), _DB)
+        filtered = execute(
+            parse(f"SELECT * FROM patients WHERE age > {threshold}"), _DB
+        )
+        keys = {tuple(sorted(r.items())) for r in everything}
+        assert all(tuple(sorted(r.items())) in keys for r in filtered)
+        assert len(filtered) <= len(everything)
+
+    @given(st.integers(0, 98), st.integers(0, 98))
+    @settings(max_examples=30, deadline=None)
+    def test_between_equals_conjunction(self, a, b):
+        low, high = min(a, b), max(a, b)
+        between = execute(
+            parse(f"SELECT name FROM patients WHERE age BETWEEN {low} AND {high}"),
+            _DB,
+        )
+        conj = execute(
+            parse(f"SELECT name FROM patients WHERE age >= {low} AND age <= {high}"),
+            _DB,
+        )
+        assert between == conj
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_limit_truncates(self, n):
+        rows = execute(parse(f"SELECT name FROM patients LIMIT {n}"), _DB)
+        assert len(rows) == min(n, 30)
+
+    @given(st.integers(0, 98))
+    @settings(max_examples=20, deadline=None)
+    def test_count_matches_row_count(self, threshold):
+        rows = execute(
+            parse(f"SELECT * FROM patients WHERE age > {threshold}"), _DB
+        )
+        count = execute(
+            parse(f"SELECT COUNT(*) FROM patients WHERE age > {threshold}"), _DB
+        )
+        assert count[0]["COUNT(*)"] == len(rows)
+
+    def test_group_counts_sum_to_total(self):
+        grouped = execute(
+            parse("SELECT diagnosis, COUNT(*) FROM patients GROUP BY diagnosis"),
+            _DB,
+        )
+        assert sum(r["COUNT(*)"] for r in grouped) == 30
+
+
+class TestGeneratorProperties:
+    @given(st.sampled_from(_PAIR_POOL + _GEO_POOL))
+    @settings(max_examples=60, deadline=None)
+    def test_sql_roundtrips_and_grammar_accepts(self, pair):
+        assert try_parse(pair.sql_text) == pair.sql
+        assert SqlDecodingAutomaton().accepts(sql_to_tokens(pair.sql_text))
+
+    @given(st.sampled_from(_PAIR_POOL + _GEO_POOL))
+    @settings(max_examples=60, deadline=None)
+    def test_lemmatized_nl_is_stable(self, pair):
+        # Runtime lemmatizes inputs: generated NL must be a fixed point
+        # after one lemmatization (train/runtime distribution match).
+        once = lemmatize(pair.nl)
+        assert lemmatize(once) == once
+
+    @given(st.sampled_from(_GEO_POOL))
+    @settings(max_examples=40, deadline=None)
+    def test_join_pairs_postprocess_to_executable(self, pair):
+        post = PostProcessor(_GEO)
+        processed = post.process(pair.sql_text)
+        assert processed is not None
+        if not processed.query.placeholders():
+            execute(processed.query, _GEO_DB)  # must not raise
+
+
+class TestSchemaSlotProperties:
+    @given(st.sampled_from(_PAIR_POOL + _GEO_POOL))
+    @settings(max_examples=60, deadline=None)
+    def test_slot_mapping_roundtrip(self, pair):
+        schema = _SCHEMA if pair.schema_name == "patients" else _GEO
+        schema_map = SchemaMap(schema)
+        tokens = sql_to_tokens(pair.sql_text)
+        slots = schema_map.sql_tokens_to_slots(tokens)
+        restored = schema_map.sql_tokens_from_slots(slots)
+        assert restored == tokens
+
+    @given(st.sampled_from(_PAIR_POOL + _GEO_POOL))
+    @settings(max_examples=40, deadline=None)
+    def test_slot_sql_still_parses(self, pair):
+        schema = _SCHEMA if pair.schema_name == "patients" else _GEO
+        schema_map = SchemaMap(schema)
+        slot_sql = tokens_to_sql(
+            schema_map.sql_tokens_to_slots(sql_to_tokens(pair.sql_text))
+        )
+        assert try_parse(slot_sql) is not None
+
+
+class TestConstantCycleProperties:
+    @given(st.sampled_from(sorted({r["diagnosis"] for r in _DB.rows("patients")})))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
+    def test_string_constant_roundtrip(self, diagnosis):
+        """anonymize -> (identity translation) -> restore recovers the value."""
+        handler = ParameterHandler(_DB)
+        anonymized = handler.anonymize(f"patients with {diagnosis}")
+        assert "@DIAGNOSIS" in anonymized.nl
+        post = PostProcessor(_SCHEMA)
+        processed = post.process(
+            "SELECT * FROM patients WHERE diagnosis = @DIAGNOSIS",
+            anonymized.bindings,
+        )
+        assert f"'{diagnosis}'" in processed.sql
+        rows = execute(processed.query, _DB)
+        assert all(r["diagnosis"] == diagnosis for r in rows)
+
+    @given(st.sampled_from(sorted({r["age"] for r in _DB.rows("patients")})))
+    @settings(max_examples=20, deadline=None)
+    def test_numeric_constant_roundtrip(self, age):
+        handler = ParameterHandler(_DB)
+        anonymized = handler.anonymize(f"patients with age greater than {age}")
+        post = PostProcessor(_SCHEMA)
+        processed = post.process(
+            "SELECT name FROM patients WHERE age > @AGE", anonymized.bindings
+        )
+        rows = execute(processed.query, _DB)
+        expected = execute(
+            parse(f"SELECT name FROM patients WHERE age > {age}"), _DB
+        )
+        assert rows == expected
