@@ -1,0 +1,51 @@
+"""Perf benchmark: sequential vs parallel synthesis throughput.
+
+Marked ``perf`` and excluded from tier-1 (``pytest -x -q`` collects
+``tests/`` only); run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_synthesis.py -m perf
+
+The test records the measured throughput trajectory to
+``BENCH_synthesis.json`` at the repository root (the same record
+``benchmarks/run_perf.py`` produces) and asserts the engine's two
+speedup claims on multi-core hosts; on single-core hosts the parallel
+arms only measure pool overhead, so just the caching claim is held.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from run_perf import run_benchmark
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_synthesis.json"
+
+
+@pytest.mark.perf
+def test_synthesis_throughput_recorded():
+    # Default to the full profile: the recorded trajectory should track
+    # the corpus scale the paper's tables are built from.
+    profile = os.environ.get("REPRO_PROFILE", "full")
+    if profile not in ("fast", "full"):
+        profile = "full"
+    record = run_benchmark(profile=profile, workers=(2, 4))
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    speedups = record["speedups"]
+    cores = record["cpu_count"] or 1
+    # Caching alone must pay for itself sequentially — this holds on
+    # any hardware because both arms run the same inline shard loop.
+    assert speedups["caching_alone"] >= 1.3, speedups
+    if cores >= 2:
+        # The full engine at 4 workers vs the uncached baseline.  On a
+        # single-core host the parallel arm measures process-pool
+        # overhead under time-slicing, not speedup, so the parallel
+        # claims are only enforced where parallelism exists.
+        assert speedups["workers4_vs_baseline"] >= 1.5, speedups
+    if cores >= 4:
+        # Genuine scaling past the caching win needs >= 4 real cores.
+        assert speedups["workers4_vs_sequential"] >= 1.5, speedups

@@ -51,6 +51,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--pos-aware-dropout", action="store_true")
+    generate.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="synthesis worker processes (0 = in-process; output is "
+        "identical for every worker count)",
+    )
+    generate.add_argument(
+        "--perf",
+        action="store_true",
+        help="print per-stage wall-clock timings and pairs/sec",
+    )
     _add_config_arguments(generate)
 
     train = sub.add_parser("train", help="synthesize data and train a model")
@@ -93,21 +105,45 @@ def cmd_schemas(_args) -> int:
 
 
 def cmd_generate(args) -> int:
+    import time
+    from collections import Counter
+    from itertools import chain
+
+    from repro.perf import PerfRecorder
+
     schema = load_schema(args.schema)
     pipeline = TrainingPipeline(
         schema,
         _config_from(args),
         seed=args.seed,
         pos_aware_dropout=args.pos_aware_dropout,
+        workers=args.workers,
     )
-    corpus = pipeline.generate()
-    if args.format == "jsonl":
-        save_jsonl(corpus, args.output)
-    else:
-        save_tsv(corpus, args.output)
-    print(f"wrote {len(corpus)} pairs to {args.output}")
-    print(f"families: {corpus.family_counts()}")
-    print(f"augmentations: {corpus.augmentation_counts()}")
+    recorder = PerfRecorder() if args.perf else None
+    families: Counter = Counter()
+    augmentations: Counter = Counter()
+
+    def tally(batches):
+        # Corpus batches stream straight to disk; only counters stay.
+        for batch in batches:
+            for pair in batch:
+                families[pair.family.value] += 1
+                augmentations[pair.augmentation] += 1
+            yield batch
+
+    start = time.perf_counter()
+    stream = chain.from_iterable(tally(pipeline.generate_stream(recorder=recorder)))
+    writer = save_jsonl if args.format == "jsonl" else save_tsv
+    written = writer(stream, args.output)
+    elapsed = time.perf_counter() - start
+    print(f"wrote {written} pairs to {args.output}")
+    print(f"families: {dict(families)}")
+    print(f"augmentations: {dict(augmentations)}")
+    if recorder is not None:
+        print(recorder.format_table(title="synthesis perf"))
+        rate = written / elapsed if elapsed > 0 else 0.0
+        print(f"wall-clock: {elapsed:.3f}s ({rate:.1f} pairs/sec, "
+              f"workers={args.workers})")
     return 0
 
 

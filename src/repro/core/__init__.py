@@ -6,6 +6,7 @@ from repro.core.config import GenerationConfig
 from repro.core.corpus_io import load_jsonl, load_tsv, save_jsonl, save_tsv
 from repro.core.dropout import WordDropout
 from repro.core.generator import Generator, generate_for_schemas
+from repro.core.parallel import EngineState, SynthesisEngine, synthesize_shard
 from repro.core.paraphraser import Paraphraser
 from repro.core.pipeline import TrainingCorpus, TrainingPipeline
 from repro.core.seed_templates import (
@@ -22,6 +23,7 @@ from repro.core.templates import (
     SeedTemplate,
     SlotFill,
     TrainingPair,
+    dedupe_pairs,
     pluralize,
     render,
 )
@@ -36,6 +38,7 @@ from repro.core.tuning import (
 __all__ = [
     "Augmenter",
     "ComparativeAugmenter",
+    "EngineState",
     "Family",
     "FilterSpec",
     "GROUPBY_VARIANTS",
@@ -48,6 +51,7 @@ __all__ = [
     "SearchResult",
     "SeedTemplate",
     "SlotFill",
+    "SynthesisEngine",
     "TrainingCorpus",
     "TrainingPair",
     "TrainingPipeline",
@@ -55,7 +59,9 @@ __all__ = [
     "WordDropout",
     "build_seed_templates",
     "builder_for",
+    "dedupe_pairs",
     "generate_for_schemas",
+    "synthesize_shard",
     "grid_search",
     "load_jsonl",
     "load_tsv",

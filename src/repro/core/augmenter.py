@@ -16,7 +16,7 @@ from repro.core.comparatives import ComparativeAugmenter
 from repro.core.config import GenerationConfig
 from repro.core.dropout import WordDropout
 from repro.core.paraphraser import Paraphraser
-from repro.core.templates import TrainingPair
+from repro.core.templates import TrainingPair, dedupe_pairs
 from repro.nlp.ppdb import ParaphraseDatabase
 
 
@@ -28,7 +28,7 @@ class Augmenter:
         schemas,
         config: GenerationConfig | None = None,
         ppdb: ParaphraseDatabase | None = None,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
         pos_aware_dropout: bool = False,
     ) -> None:
         self.config = config or GenerationConfig()
@@ -55,27 +55,12 @@ class Augmenter:
                 variants.append(
                     dropped.with_nl(dropped.nl, augmentation="paraphrase+dropout")
                 )
-        return _dedupe(variants)
+        return dedupe_pairs(variants)
 
     def augment(self, pairs) -> list[TrainingPair]:
         """Augment a whole training set (order-preserving, deduplicated)."""
         out: list[TrainingPair] = []
         seen: set[tuple[str, str]] = set()
         for pair in pairs:
-            for variant in self.augment_pair(pair):
-                key = variant.key()
-                if key not in seen:
-                    seen.add(key)
-                    out.append(variant)
+            out.extend(dedupe_pairs(self.augment_pair(pair), seen))
         return out
-
-
-def _dedupe(pairs: list[TrainingPair]) -> list[TrainingPair]:
-    seen: set[tuple[str, str]] = set()
-    unique: list[TrainingPair] = []
-    for pair in pairs:
-        key = pair.key()
-        if key not in seen:
-            seen.add(key)
-            unique.append(pair)
-    return unique

@@ -50,6 +50,13 @@ class GenerationConfig:
     #: Probability of dropping words from a generated query at all.
     rand_drop_p: float = 0.35
 
+    # -- synthesis engine (not a Table 1 parameter) --------------------
+    #: Consecutive failed slot-fill attempts tolerated before a template
+    #: is declared unsupported by the schema (fast-fail for
+    #: schema-structural builders, e.g. join templates on single-table
+    #: schemas).  Excluded from :data:`SEARCH_SPACE`.
+    miss_streak_limit: int = 10
+
     def __post_init__(self) -> None:
         if self.size_slotfills < 1:
             raise GenerationError("size_slotfills must be >= 1")
@@ -65,6 +72,8 @@ class GenerationConfig:
                 raise GenerationError(f"{name} must be >= 0, got {value}")
         if self.size_para < 0 or self.num_para < 0 or self.num_missing < 0:
             raise GenerationError("augmentation sizes must be >= 0")
+        if self.miss_streak_limit < 1:
+            raise GenerationError("miss_streak_limit must be >= 1")
 
     def with_overrides(self, **overrides) -> "GenerationConfig":
         """A copy with the given fields replaced."""

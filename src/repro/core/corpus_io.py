@@ -7,12 +7,19 @@ can be exported and re-imported losslessly:
 * **JSONL** — one JSON object per pair, all metadata preserved;
 * **TSV** — two-column ``NL \\t SQL`` (the common seq2seq tooling
   format), metadata dropped.
+
+Both writers accept a :class:`TrainingCorpus` or any iterable of
+:class:`TrainingPair` (e.g. ``itertools.chain`` over
+:meth:`TrainingPipeline.generate_stream` batches), so a corpus can be
+streamed to disk while it is being synthesized instead of being
+materialized in memory first.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterable
 
 from repro.core.pipeline import TrainingCorpus
 from repro.core.templates import Family, TrainingPair
@@ -20,11 +27,23 @@ from repro.errors import GenerationError
 from repro.sql.parser import parse
 
 
-def save_jsonl(corpus: TrainingCorpus, path: str | Path) -> None:
-    """Write a corpus to JSON-lines with full metadata."""
+def _iter_pairs(
+    corpus: TrainingCorpus | Iterable[TrainingPair],
+) -> Iterable[TrainingPair]:
+    return corpus.pairs if isinstance(corpus, TrainingCorpus) else corpus
+
+
+def save_jsonl(
+    corpus: TrainingCorpus | Iterable[TrainingPair], path: str | Path
+) -> int:
+    """Write a corpus (or pair stream) to JSON-lines with full metadata.
+
+    Returns the number of pairs written.
+    """
     path = Path(path)
+    written = 0
     with open(path, "w", encoding="utf-8") as handle:
-        for pair in corpus.pairs:
+        for pair in _iter_pairs(corpus):
             record = {
                 "nl": pair.nl,
                 "sql": pair.sql_text,
@@ -34,6 +53,8 @@ def save_jsonl(corpus: TrainingCorpus, path: str | Path) -> None:
                 "augmentation": pair.augmentation,
             }
             handle.write(json.dumps(record) + "\n")
+            written += 1
+    return written
 
 
 def load_jsonl(path: str | Path) -> TrainingCorpus:
@@ -63,13 +84,22 @@ def load_jsonl(path: str | Path) -> TrainingCorpus:
     return TrainingCorpus(pairs)
 
 
-def save_tsv(corpus: TrainingCorpus, path: str | Path) -> None:
-    """Write a plain ``NL \\t SQL`` file (for external seq2seq tooling)."""
+def save_tsv(
+    corpus: TrainingCorpus | Iterable[TrainingPair], path: str | Path
+) -> int:
+    """Write a plain ``NL \\t SQL`` file (for external seq2seq tooling).
+
+    Accepts a corpus or a pair stream; returns the number of pairs
+    written.
+    """
     path = Path(path)
+    written = 0
     with open(path, "w", encoding="utf-8") as handle:
-        for pair in corpus.pairs:
+        for pair in _iter_pairs(corpus):
             nl = pair.nl.replace("\t", " ")
             handle.write(f"{nl}\t{pair.sql_text}\n")
+            written += 1
+    return written
 
 
 def load_tsv(path: str | Path, schema_name: str = "") -> TrainingCorpus:

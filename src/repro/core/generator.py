@@ -47,7 +47,7 @@ class Generator:
         schema: Schema,
         config: GenerationConfig | None = None,
         templates: Sequence[SeedTemplate] = SEED_TEMPLATES,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
     ) -> None:
         self.schema = schema
         self.config = config or GenerationConfig()
@@ -66,17 +66,38 @@ class Generator:
         pairs: list[TrainingPair] = []
         seen: set[tuple[str, str]] = set()
         for template in self.templates:
-            budget = self._budget_for(template)
-            for pair in self._instantiate(template, budget, seen):
-                pairs.append(pair)
-                # groupby_p: stochastically add a GROUP BY variant of
-                # aggregate instances (Table 1).
-                variant_kind = GROUPBY_VARIANTS.get(template.sql_kind)
-                if variant_kind and self._rng.random() < self.config.groupby_p:
-                    variant = self._instantiate_variant(variant_kind, seen)
-                    if variant is not None:
-                        pairs.append(variant)
+            self._generate_template_into(template, pairs, seen)
         return pairs
+
+    def generate_template(self, template: SeedTemplate) -> list[TrainingPair]:
+        """Instances of one template (the parallel engine's shard unit).
+
+        Unlike :meth:`generate`, deduplication is local to the call;
+        cross-template duplicates are resolved by the engine's
+        order-stable merge.  The generator must still be constructed
+        with the *full* template tuple so GROUP BY variants can find
+        their NL patterns.
+        """
+        pairs: list[TrainingPair] = []
+        self._generate_template_into(template, pairs, set())
+        return pairs
+
+    def _generate_template_into(
+        self,
+        template: SeedTemplate,
+        pairs: list[TrainingPair],
+        seen: set[tuple[str, str]],
+    ) -> None:
+        budget = self._budget_for(template)
+        for pair in self._instantiate(template, budget, seen):
+            pairs.append(pair)
+            # groupby_p: stochastically add a GROUP BY variant of
+            # aggregate instances (Table 1).
+            variant_kind = GROUPBY_VARIANTS.get(template.sql_kind)
+            if variant_kind and self._rng.random() < self.config.groupby_p:
+                variant = self._instantiate_variant(variant_kind, seen)
+                if variant is not None:
+                    pairs.append(variant)
 
     # ------------------------------------------------------------------
 
@@ -90,16 +111,22 @@ class Generator:
         _family, builder, _patterns = KIND_REGISTRY[template.sql_kind]
         produced = 0
         attempts = 0
+        miss_streak = 0
         max_attempts = budget * _ATTEMPT_FACTOR
         while produced < budget and attempts < max_attempts:
             attempts += 1
             fill = builder(self.schema, self._rng, self.config)
             if fill is None:
-                # The schema cannot support this kind (e.g. joins on a
-                # single-table schema); one None is proof enough for
-                # schema-structural builders, but filter diversity can
-                # recover, so keep trying within the attempt budget.
+                # Stochastic misses (filter diversity) can recover, so a
+                # single None is not proof of anything — but a streak of
+                # them means the schema structurally cannot support this
+                # kind (e.g. joins on a single-table schema); fast-fail
+                # instead of burning the whole attempt budget.
+                miss_streak += 1
+                if miss_streak >= self.config.miss_streak_limit:
+                    break
                 continue
+            miss_streak = 0
             pair = TrainingPair(
                 nl=render(template.nl_pattern, fill.slots),
                 sql=fill.query,

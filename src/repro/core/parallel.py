@@ -1,0 +1,225 @@
+"""Parallel, deterministic corpus synthesis (the scale-out engine).
+
+The paper's pipeline (generate → augment → lemmatize) is embarrassingly
+parallel once it is expressed as independent *shards*: one shard per
+(schema, template) pair runs the full three-stage pipeline for that
+template's instances.  This module provides that sharded engine:
+
+* **Deterministic seeding.**  Every shard derives its RNG streams from
+  ``np.random.SeedSequence(seed)`` with the shard index as spawn key
+  (one child each for generation and augmentation), so shard outputs
+  are independent of scheduling, process boundaries, and worker count.
+* **Order-stable merge.**  Shards are merged in shard-index order
+  (schema-major, template-minor) and globally deduplicated with one
+  shared key set, making the corpus for ``workers=N`` **bit-identical**
+  to ``workers=0`` for the same seed and configuration.
+* **Inline or multi-process.**  ``workers=0`` runs the shard loop in
+  the calling process (no pool, no pickling); ``workers>0`` fans shards
+  out over a :class:`~concurrent.futures.ProcessPoolExecutor`, shipping
+  the immutable engine state once per worker via the pool initializer
+  so per-task payloads are a single integer.
+
+Workers also time their own stages (generate/augment/lemmatize) and
+return ``{stage: seconds}`` alongside the pairs, so a
+:class:`repro.perf.PerfRecorder` can aggregate per-stage CPU time even
+for multi-process runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.augmenter import Augmenter
+from repro.core.config import GenerationConfig
+from repro.core.generator import Generator
+from repro.core.seed_templates import SEED_TEMPLATES
+from repro.core.templates import SeedTemplate, TrainingPair, dedupe_pairs
+from repro.errors import GenerationError
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.ppdb import ParaphraseDatabase
+from repro.perf.instrumentation import StageTimer
+from repro.schema.schema import Schema
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """Everything a shard needs; immutable and picklable.
+
+    Shipped to pool workers exactly once (via the initializer), after
+    which tasks are identified by their shard index alone.
+    """
+
+    schemas: tuple[Schema, ...]
+    config: GenerationConfig
+    templates: tuple[SeedTemplate, ...]
+    ppdb: ParaphraseDatabase
+    seed: int
+    apply_lemmatizer: bool = True
+    pos_aware_dropout: bool = False
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.schemas) * len(self.templates)
+
+    def shard_coords(self, shard_index: int) -> tuple[Schema, SeedTemplate]:
+        """(schema, template) of one shard, schema-major order."""
+        schema = self.schemas[shard_index // len(self.templates)]
+        template = self.templates[shard_index % len(self.templates)]
+        return schema, template
+
+
+def synthesize_shard(
+    state: EngineState, shard_index: int
+) -> tuple[list[TrainingPair], dict[str, float]]:
+    """Run generate → augment → lemmatize for one (schema, template).
+
+    Returns the shard's locally deduplicated pairs plus per-stage
+    wall-clock seconds.  Deterministic: the RNG streams depend only on
+    ``state.seed`` and ``shard_index`` — ``SeedSequence`` spawn keys
+    guarantee independence between shards and reproducibility across
+    processes.
+    """
+    schema, template = state.shard_coords(shard_index)
+    shard_seq = np.random.SeedSequence(
+        entropy=state.seed, spawn_key=(shard_index,)
+    )
+    generate_seq, augment_seq = shard_seq.spawn(2)
+    timings: dict[str, float] = {}
+
+    with StageTimer() as timer:
+        generator = Generator(
+            schema, state.config, state.templates, seed=generate_seq
+        )
+        pairs = generator.generate_template(template)
+    timings["generate"] = timer.seconds
+
+    with StageTimer() as timer:
+        augmenter = Augmenter(
+            [schema],
+            state.config,
+            state.ppdb,
+            seed=augment_seq,
+            pos_aware_dropout=state.pos_aware_dropout,
+        )
+        pairs = augmenter.augment(pairs)
+    timings["augment"] = timer.seconds
+
+    with StageTimer() as timer:
+        if state.apply_lemmatizer:
+            pairs = [
+                pair.with_nl(lemmatize(pair.nl), pair.augmentation)
+                for pair in pairs
+            ]
+            pairs = dedupe_pairs(pairs)
+    timings["lemmatize"] = timer.seconds
+    return pairs, timings
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+_WORKER_STATE: EngineState | None = None
+
+
+def _init_worker(state: EngineState) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_shard(shard_index: int):
+    if _WORKER_STATE is None:  # pragma: no cover - defensive
+        raise GenerationError("synthesis worker used before initialization")
+    return synthesize_shard(_WORKER_STATE, shard_index)
+
+
+class SynthesisEngine:
+    """Shards corpus synthesis by (schema, template) and merges stably."""
+
+    def __init__(
+        self,
+        schemas: Schema | Sequence[Schema],
+        config: GenerationConfig | None = None,
+        templates: Sequence[SeedTemplate] = SEED_TEMPLATES,
+        ppdb: ParaphraseDatabase | None = None,
+        seed: int = 0,
+        apply_lemmatizer: bool = True,
+        pos_aware_dropout: bool = False,
+    ) -> None:
+        if isinstance(schemas, Schema):
+            schemas = [schemas]
+        if not schemas:
+            raise GenerationError("no schemas supplied")
+        self.state = EngineState(
+            schemas=tuple(schemas),
+            config=config or GenerationConfig(),
+            templates=tuple(templates),
+            ppdb=ppdb or ParaphraseDatabase(),
+            seed=seed,
+            apply_lemmatizer=apply_lemmatizer,
+            pos_aware_dropout=pos_aware_dropout,
+        )
+        if not self.state.templates:
+            raise GenerationError("no seed templates supplied")
+
+    @property
+    def shard_count(self) -> int:
+        return self.state.shard_count
+
+    def iter_shards(
+        self, workers: int = 0
+    ) -> Iterator[tuple[list[TrainingPair], dict[str, float]]]:
+        """Yield every shard's (pairs, stage timings) in shard order.
+
+        ``workers=0`` runs inline; ``workers>0`` uses a process pool.
+        The yielded sequence is identical either way — ``Executor.map``
+        preserves submission order, and shard contents depend only on
+        (seed, shard index).
+        """
+        indices = range(self.state.shard_count)
+        if workers <= 0:
+            for shard_index in indices:
+                yield synthesize_shard(self.state, shard_index)
+            return
+        chunksize = max(1, self.state.shard_count // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.state,),
+        ) as pool:
+            yield from pool.map(_run_shard, indices, chunksize=chunksize)
+
+    def iter_batches(
+        self, workers: int = 0, recorder=None
+    ) -> Iterator[list[TrainingPair]]:
+        """Globally deduplicated per-shard batches, in stable order.
+
+        This is the streaming surface: concatenating the batches gives
+        the canonical corpus without ever holding shards that were
+        already written.  ``recorder`` (a
+        :class:`repro.perf.PerfRecorder`) aggregates worker stage
+        timings and merge time when provided.
+        """
+        seen: set[tuple[str, str]] = set()
+        for pairs, timings in self.iter_shards(workers=workers):
+            if recorder is not None:
+                for stage, seconds in timings.items():
+                    recorder.add(stage, seconds, items=len(pairs))
+                with recorder.stage("merge") as stats:
+                    batch = dedupe_pairs(pairs, seen)
+                    stats.items += len(batch)
+            else:
+                batch = dedupe_pairs(pairs, seen)
+            if batch:
+                yield batch
+
+    def run(self, workers: int = 0, recorder=None) -> list[TrainingPair]:
+        """The full merged corpus as one list."""
+        merged: list[TrainingPair] = []
+        for batch in self.iter_batches(workers=workers, recorder=recorder):
+            merged.extend(batch)
+        return merged

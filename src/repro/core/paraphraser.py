@@ -34,6 +34,8 @@ class Paraphraser:
         self._ppdb = ppdb
         self._config = config
         self._rng = rng
+        # Hoisted out of the per-pair span scan (hot path).
+        self._max_span = min(config.size_para, ppdb.max_ngram)
 
     def paraphrase(self, pair: TrainingPair) -> list[TrainingPair]:
         """Paraphrased duplicates (possibly empty; never includes ``pair``)."""
@@ -60,8 +62,7 @@ class Paraphraser:
     def _candidate_spans(self, words: list[str]) -> list[tuple[int, int]]:
         """All (start, length) spans up to ``size_para`` words, placeholder-free."""
         spans = []
-        max_len = min(self._config.size_para, self._ppdb.max_ngram)
-        for length in range(1, max_len + 1):
+        for length in range(1, self._max_span + 1):
             for start in range(len(words) - length + 1):
                 segment = words[start : start + length]
                 if any(is_placeholder_token(w) for w in segment):

@@ -12,13 +12,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.core.augmenter import Augmenter
 from repro.core.config import GenerationConfig
-from repro.core.generator import generate_for_schemas
+from repro.core.parallel import SynthesisEngine
 from repro.core.seed_templates import SEED_TEMPLATES
 from repro.core.templates import SeedTemplate, TrainingPair
 from repro.nlp.lemmatizer import lemmatize
@@ -81,7 +80,16 @@ class TrainingCorpus:
 
 
 class TrainingPipeline:
-    """Generate → augment → lemmatize, then train any pluggable model."""
+    """Generate → augment → lemmatize, then train any pluggable model.
+
+    Synthesis runs on the sharded :class:`SynthesisEngine`: the corpus
+    is the order-stable merge of per-(schema, template) shards, each
+    with its own ``SeedSequence``-derived RNG streams.  ``workers``
+    selects the execution strategy only — ``0`` (default) runs the
+    shard loop inline in this process, ``N > 0`` fans shards out over a
+    process pool — and never changes the corpus: for a given seed and
+    configuration every worker count produces bit-identical output.
+    """
 
     def __init__(
         self,
@@ -92,6 +100,7 @@ class TrainingPipeline:
         apply_lemmatizer: bool = True,
         seed: int = 0,
         pos_aware_dropout: bool = False,
+        workers: int = 0,
     ) -> None:
         if isinstance(schemas, Schema):
             schemas = [schemas]
@@ -102,31 +111,47 @@ class TrainingPipeline:
         self._apply_lemmatizer = apply_lemmatizer
         self._seed = seed
         self._pos_aware_dropout = pos_aware_dropout
+        self._workers = workers
 
     # ------------------------------------------------------------------
     # Corpus synthesis
     # ------------------------------------------------------------------
 
-    def generate(self) -> TrainingCorpus:
-        """Run the three pipeline stages and return the corpus."""
-        initial = generate_for_schemas(
-            self.schemas, self.config, self.templates, seed=self._seed
-        )
-        augmenter = Augmenter(
+    def _engine(self) -> SynthesisEngine:
+        return SynthesisEngine(
             self.schemas,
             self.config,
-            self._ppdb,
-            seed=self._seed + 1,
+            self.templates,
+            ppdb=self._ppdb,
+            seed=self._seed,
+            apply_lemmatizer=self._apply_lemmatizer,
             pos_aware_dropout=self._pos_aware_dropout,
         )
-        augmented = augmenter.augment(initial)
-        if self._apply_lemmatizer:
-            augmented = [
-                pair.with_nl(lemmatize(pair.nl), pair.augmentation)
-                for pair in augmented
-            ]
-            augmented = _dedupe(augmented)
-        return TrainingCorpus(augmented)
+
+    def generate_stream(
+        self, workers: int | None = None, recorder=None
+    ) -> Iterator[list[TrainingPair]]:
+        """Stream the corpus as globally deduplicated per-shard batches.
+
+        Batches arrive in the canonical corpus order, so writing them
+        as they come (see :func:`repro.core.corpus_io.save_jsonl`)
+        produces the same file as materializing the whole corpus first —
+        without holding more than one shard's pairs at a time on the
+        consumer side.  ``workers=None`` uses the pipeline's configured
+        worker count; ``recorder`` is an optional
+        :class:`repro.perf.PerfRecorder` fed per-stage timings.
+        """
+        effective = self._workers if workers is None else workers
+        return self._engine().iter_batches(workers=effective, recorder=recorder)
+
+    def generate(
+        self, workers: int | None = None, recorder=None
+    ) -> TrainingCorpus:
+        """Run the three pipeline stages and return the corpus."""
+        pairs: list[TrainingPair] = []
+        for batch in self.generate_stream(workers=workers, recorder=recorder):
+            pairs.extend(batch)
+        return TrainingCorpus(pairs)
 
     # ------------------------------------------------------------------
     # Pluggable model training
@@ -153,14 +178,3 @@ class TrainingPipeline:
         corpus = corpus.merged_with(manual)
         model.fit(corpus.pairs, **fit_kwargs)
         return corpus
-
-
-def _dedupe(pairs: list[TrainingPair]) -> list[TrainingPair]:
-    seen: set[tuple[str, str]] = set()
-    unique: list[TrainingPair] = []
-    for pair in pairs:
-        key = pair.key()
-        if key not in seen:
-            seen.add(key)
-            unique.append(pair)
-    return unique

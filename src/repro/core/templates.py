@@ -19,6 +19,8 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Iterable
 
 import numpy as np
 
@@ -71,7 +73,15 @@ class SeedTemplate:
 
 @dataclass(frozen=True)
 class TrainingPair:
-    """One generated (NL, SQL) example."""
+    """One generated (NL, SQL) example.
+
+    ``sql_text`` and ``key()`` are memoized: deduplication probes every
+    pair's key several times along the pipeline (augment, lemmatize,
+    merge), and printing the SQL AST on each probe dominated the
+    synthesis profile.  The cache lives in the instance ``__dict__``
+    (fields stay frozen) and survives pickling, so pairs returned by
+    parallel synthesis workers arrive with their SQL already printed.
+    """
 
     nl: str
     sql: Query
@@ -80,17 +90,60 @@ class TrainingPair:
     schema_name: str
     augmentation: str = "none"
 
-    @property
+    @cached_property
     def sql_text(self) -> str:
         return to_sql(self.sql)
 
     def with_nl(self, nl: str, augmentation: str) -> "TrainingPair":
         """A copy with a linguistically varied NL side (same SQL)."""
-        return replace(self, nl=nl, augmentation=augmentation)
+        clone = replace(self, nl=nl, augmentation=augmentation)
+        cached_sql = self.__dict__.get("sql_text")
+        if cached_sql is not None:
+            # Same AST, so the printed SQL carries over to the copy.
+            clone.__dict__["sql_text"] = cached_sql
+        return clone
 
     def key(self) -> tuple[str, str]:
-        """Deduplication key."""
-        return (self.nl, self.sql_text)
+        """Deduplication key (memoized)."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = (self.nl, self.sql_text)
+            self.__dict__["_key"] = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        # Ship the printed SQL across process boundaries (the parent
+        # merge needs it for every key probe) but not the key tuple,
+        # which just duplicates two strings and is cheap to rebuild.
+        state = dict(self.__dict__)
+        state.pop("_key", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+def dedupe_pairs(
+    pairs: Iterable[TrainingPair],
+    seen: set[tuple[str, str]] | None = None,
+) -> list[TrainingPair]:
+    """Order-preserving deduplication by :meth:`TrainingPair.key`.
+
+    The single dedupe implementation shared by the generator output,
+    both augmenter paths, the pipeline's lemmatize stage, and the
+    parallel engine's shard merge.  Passing ``seen`` threads one key set
+    through successive calls (global dedupe across streamed batches);
+    the set is updated in place.
+    """
+    if seen is None:
+        seen = set()
+    unique: list[TrainingPair] = []
+    for pair in pairs:
+        key = pair.key()
+        if key not in seen:
+            seen.add(key)
+            unique.append(pair)
+    return unique
 
 
 @dataclass

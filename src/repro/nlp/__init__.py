@@ -5,7 +5,12 @@ from repro.nlp.extra_paraphrases import (
     EXTRA_PARAPHRASE_GROUPS,
     combined_paraphrase_database,
 )
-from repro.nlp.lemmatizer import lemmatize, lemmatize_tokens, lemmatize_word
+from repro.nlp.lemmatizer import (
+    lemmatize,
+    lemmatize_tokens,
+    lemmatize_word,
+    lemmatize_word_uncached,
+)
 from repro.nlp.pos import DROPPABLE_TAGS, tag, tag_tokens, tag_word
 from repro.nlp.lexicons import (
     AGGREGATE_PHRASES,
@@ -55,6 +60,7 @@ __all__ = [
     "lemmatize",
     "lemmatize_tokens",
     "lemmatize_word",
+    "lemmatize_word_uncached",
     "superlative_phrases",
     "tokenize",
 ]

@@ -14,6 +14,8 @@ training distribution, which hurts more than missing a rare form.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.nlp.tokenizer import is_placeholder_token
 
 #: Irregular verb forms -> lemma (includes the copula per the paper).
@@ -66,8 +68,12 @@ GRADABLE_ADJECTIVES = frozenset(
 _VOWELS = set("aeiou")
 
 
-def lemmatize_word(word: str) -> str:
-    """Lemma of a single lower-case word."""
+def lemmatize_word_uncached(word: str) -> str:
+    """Lemma of a single lower-case word (uncached implementation).
+
+    Kept importable so tests and perf ablations can compare the cached
+    wrapper against the raw rules.
+    """
     if is_placeholder_token(word) or not word.isalpha():
         # Placeholders, numbers, and punctuation pass through.
         return _strip_possessive(word)
@@ -107,6 +113,12 @@ def lemmatize_word(word: str) -> str:
     if word.endswith("ing") and len(word) > 5:
         return _strip_participle(word, 3)
     return word
+
+
+#: Corpus synthesis lemmatizes the same small vocabulary hundreds of
+#: thousands of times; the suffix rules are pure, so an unbounded cache
+#: (vocabulary-sized in practice) removes them from the hot path.
+lemmatize_word = lru_cache(maxsize=None)(lemmatize_word_uncached)
 
 
 def _strip_participle(word: str, suffix_len: int) -> str:

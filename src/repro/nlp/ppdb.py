@@ -158,23 +158,50 @@ class ParaphraseDatabase:
                     score = max(0.5, 1.0 - 0.08 * position)
                     entries.append(ParaphraseEntry(alternative, score))
                     known.add(alternative)
+        # Prebuilt n-gram index: entries are sorted once here instead of
+        # on every lookup, and the longest n-gram is precomputed (the
+        # paraphraser reads it for every training pair).
+        for entries in self._table.values():
+            entries.sort(key=lambda e: (-e.score, e.phrase))
+        self._max_ngram = max(len(k.split()) for k in self._table) if self._table else 0
+        #: phrase -> fully resolved (noise included) candidate tuple.
+        self._lookup_cache: dict[str, tuple[ParaphraseEntry, ...]] = {}
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._table.values())
 
+    def __getstate__(self) -> dict:
+        # The lazily grown lookup cache can be corpus-sized; drop it
+        # when the database is shipped to parallel synthesis workers.
+        state = dict(self.__dict__)
+        state["_lookup_cache"] = {}
+        return state
+
     @property
     def max_ngram(self) -> int:
         """Longest phrase length (in words) present in the table."""
-        return max(len(k.split()) for k in self._table)
+        return self._max_ngram
 
     def lookup(self, phrase: str, max_candidates: int | None = None) -> list[ParaphraseEntry]:
         """Paraphrase candidates for ``phrase``, best score first.
 
         A deterministic per-phrase noise draw decides whether fabricated
         low-quality candidates are appended, so the same phrase always
-        returns the same candidate list for a given database instance.
+        returns the same candidate list for a given database instance —
+        which is also what makes the per-phrase cache safe.
         """
         phrase = phrase.lower().strip()
+        cached = self._lookup_cache.get(phrase)
+        if cached is None:
+            cached = tuple(self._resolve(phrase))
+            self._lookup_cache[phrase] = cached
+        entries = list(cached)
+        if max_candidates is not None:
+            entries = entries[:max_candidates]
+        return entries
+
+    def _resolve(self, phrase: str) -> list[ParaphraseEntry]:
+        """Uncached candidate resolution (curated entries + noise draw)."""
         entries = list(self._table.get(phrase, ()))
         if self._noise_rate > 0.0 and phrase:
             # crc32 (not hash()) so the draw is stable across processes.
@@ -185,9 +212,7 @@ class ParaphraseDatabase:
                 entries.append(
                     ParaphraseEntry(self._fabricate(phrase, rng), self._noise_score)
                 )
-        entries.sort(key=lambda e: (-e.score, e.phrase))
-        if max_candidates is not None:
-            entries = entries[:max_candidates]
+                entries.sort(key=lambda e: (-e.score, e.phrase))
         return entries
 
     def _fabricate(self, phrase: str, rng: np.random.Generator) -> str:

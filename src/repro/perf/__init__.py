@@ -1,0 +1,11 @@
+"""Performance instrumentation and ablation tools for the pipeline."""
+
+from repro.perf.ablation import uncached_hot_paths
+from repro.perf.instrumentation import PerfRecorder, StageStats, StageTimer
+
+__all__ = [
+    "PerfRecorder",
+    "StageStats",
+    "StageTimer",
+    "uncached_hot_paths",
+]

@@ -1,0 +1,120 @@
+"""Per-stage wall-clock timers and throughput counters.
+
+Synthesis performance work needs numbers before it needs opinions, so
+the pipeline (and anything else with stages) can carry a
+:class:`PerfRecorder`: a tiny accumulator of per-stage wall-clock time,
+item counts, and derived items/sec rates.  Recording is cheap enough to
+leave on in production paths — a recorder is only consulted when the
+caller passes one.
+
+Parallel synthesis workers time their own stages and return plain
+``{stage: seconds}`` dicts; the parent merges them with
+:meth:`PerfRecorder.add`, so a report over a multi-process run shows
+aggregate CPU seconds per stage next to the observed wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class StageTimer:
+    """Context manager measuring one wall-clock span.
+
+    >>> with StageTimer() as timer:
+    ...     work()
+    >>> timer.seconds
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class StageStats:
+    """Accumulated numbers for one named stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    items: int = 0
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class PerfRecorder:
+    """Accumulates per-stage wall-clock time and throughput counters."""
+
+    stages: dict[str, StageStats] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float, items: int = 0) -> None:
+        """Fold one measurement into ``stage``'s running totals."""
+        stats = self.stages.setdefault(stage, StageStats())
+        stats.seconds += seconds
+        stats.calls += 1
+        stats.items += items
+
+    def count(self, stage: str, items: int) -> None:
+        """Add items to a stage without adding time (e.g. merged pairs)."""
+        stats = self.stages.setdefault(stage, StageStats())
+        stats.items += items
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a ``with`` block as one call of stage ``name``.
+
+        Yields the :class:`StageStats` so the block can attach an item
+        count: ``with recorder.stage("merge") as s: ...; s.items += n``.
+        """
+        stats = self.stages.setdefault(name, StageStats())
+        start = time.perf_counter()
+        try:
+            yield stats
+        finally:
+            stats.seconds += time.perf_counter() - start
+            stats.calls += 1
+
+    def seconds(self, stage: str) -> float:
+        return self.stages[stage].seconds if stage in self.stages else 0.0
+
+    def throughput(self, stage: str) -> float:
+        """Items/sec for one stage (0.0 if unmeasured)."""
+        return self.stages[stage].items_per_second if stage in self.stages else 0.0
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Plain-dict snapshot (JSON-ready, for BENCH files and logs)."""
+        return {
+            name: {
+                "seconds": round(stats.seconds, 6),
+                "calls": stats.calls,
+                "items": stats.items,
+                "items_per_second": round(stats.items_per_second, 3),
+            }
+            for name, stats in self.stages.items()
+        }
+
+    def format_table(self, title: str = "perf") -> str:
+        """A small fixed-width table for terminal output."""
+        lines = [f"{title}:"]
+        width = max((len(n) for n in self.stages), default=5)
+        for name, stats in self.stages.items():
+            rate = (
+                f"  {stats.items_per_second:>10.1f} items/s" if stats.items else ""
+            )
+            lines.append(
+                f"  {name:<{width}}  {stats.seconds:>8.3f}s"
+                f"  x{stats.calls:<5d}{rate}"
+            )
+        return "\n".join(lines)
