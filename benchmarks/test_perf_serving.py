@@ -1,0 +1,43 @@
+"""Serving benchmark: cached/batched service vs the naive translate loop.
+
+Marked ``serving`` and excluded from tier-1 (``pytest -x -q`` collects
+``tests/`` only); run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_serving.py -m serving
+
+The test records the measured load-test trajectory to
+``BENCH_serving.json`` at the repository root (the same record
+``benchmarks/run_serving.py`` produces) and asserts the serving layer's
+headline claim: the closed-loop service — translation cache, request
+coalescing, micro-batching — sustains at least twice the throughput of
+the PR-1 one-at-a-time ``DBPal.translate`` loop on the same repeated-
+question workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from run_serving import run_benchmark
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+@pytest.mark.serving
+def test_serving_throughput_recorded():
+    record = run_benchmark(requests=600, clients=8, size_slotfills=6)
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    speedups = record["speedups"]
+    # The acceptance bar from ISSUE 2: cached/batched serving must at
+    # least double the naive loop.  The cache does most of the lifting
+    # (the workload repeats question *shapes*), so this holds even on
+    # single-core hosts where threading buys nothing.
+    assert speedups["serving_closed_vs_naive"] >= 2.0, speedups
+    # The open-loop arm is offered 2x the naive rate; achieving it means
+    # the service absorbed that load without queue collapse.
+    closed = record["modes"]["serving_closed"]
+    assert closed["ok"] == closed["requests"], closed

@@ -21,6 +21,12 @@ Serve it as a natural-language interface::
 
     nlidb = DBPal(populate(schema), model)
     nlidb.query("show me the names of all patients with age 80")
+
+Or serve it concurrently, with micro-batching, caching, and graceful
+degradation (``repro serve`` on the command line)::
+
+    with TranslationService(nlidb) as service:
+        service.translate("show me the names of all patients with age 80")
 """
 
 from repro.core import (
@@ -45,6 +51,7 @@ from repro.neural import (
 )
 from repro.runtime import DBPal
 from repro.schema import Schema, all_schemas, load_schema, patients_schema
+from repro.serving import ServingConfig, ServingResponse, TranslationService
 from repro.sql import parse, to_sql
 
 __version__ = "1.0.0"
@@ -59,8 +66,11 @@ __all__ = [
     "SEED_TEMPLATES",
     "Schema",
     "Seq2SeqModel",
+    "ServingConfig",
+    "ServingResponse",
     "SyntaxAwareModel",
     "TrainingCorpus",
+    "TranslationService",
     "TrainingPair",
     "TrainingPipeline",
     "TranslationModel",

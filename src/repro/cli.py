@@ -8,6 +8,9 @@ Commands:
 * ``train``     — synthesize + train a model, saving a checkpoint;
 * ``translate`` — load a checkpoint and answer questions (one-shot or
   interactive REPL) against a populated sample database;
+* ``serve``     — the same, through the concurrent serving layer
+  (micro-batching, translation cache, circuit breaker) with an
+  optional metrics snapshot (``--stats`` / ``--stats-json``);
 * ``benchmark`` — evaluate a checkpoint on the Patients benchmark.
 """
 
@@ -33,6 +36,30 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 def _config_from(args: argparse.Namespace) -> GenerationConfig:
     fields = GenerationConfig().to_dict()
     return GenerationConfig(**{name: getattr(args, name) for name in fields})
+
+
+def _add_serving_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.serving import ServingConfig
+
+    group = parser.add_argument_group("serving parameters")
+    for name, default in ServingConfig().to_dict().items():
+        flag = f"--{name.replace('_', '-')}"
+        if isinstance(default, bool):
+            group.add_argument(
+                flag,
+                type=lambda text: text.lower() in ("1", "true", "yes", "on"),
+                default=default,
+                metavar="BOOL",
+            )
+        else:
+            group.add_argument(flag, type=type(default), default=default)
+
+
+def _serving_config_from(args: argparse.Namespace):
+    from repro.serving import ServingConfig
+
+    fields = ServingConfig().to_dict()
+    return ServingConfig(**{name: getattr(args, name) for name in fields})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     translate.add_argument("--rows", type=int, default=10, help="max rows to print")
     translate.add_argument("--seed", type=int, default=7, help="sample-data seed")
+
+    serve = sub.add_parser(
+        "serve", help="answer NL questions through the concurrent serving layer"
+    )
+    serve.add_argument("schema")
+    serve.add_argument("--checkpoint", required=True)
+    serve.add_argument(
+        "--rows", type=int, default=0, help="also execute, printing up to N rows"
+    )
+    serve.add_argument("--seed", type=int, default=7, help="sample-data seed")
+    serve.add_argument(
+        "--stats", action="store_true", help="print a metrics snapshot on exit"
+    )
+    serve.add_argument(
+        "--stats-json", default="", help="write the machine-readable snapshot here"
+    )
+    _add_serving_arguments(serve)
 
     bench = sub.add_parser("benchmark", help="evaluate on the Patients benchmark")
     bench.add_argument("--checkpoint", required=True)
@@ -201,6 +245,55 @@ def cmd_translate(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.neural import load_model
+    from repro.runtime import DBPal
+    from repro.serving import TranslationService
+
+    schema = load_schema(args.schema)
+    database = populate(schema, rows_per_table=30, seed=args.seed)
+    nlidb = DBPal(database, load_model(args.checkpoint))
+    interactive = sys.stdin.isatty()
+
+    with TranslationService(nlidb, _serving_config_from(args)) as service:
+        if interactive:
+            print("DBPal serving REPL — empty line to exit")
+        while True:
+            try:
+                question = input("nl> " if interactive else "").strip()
+            except EOFError:
+                break
+            if not question:
+                if interactive:
+                    break
+                continue
+            response = service.translate(question)
+            tag = response.status if response.status != "ok" else response.source
+            print(f"[{response.request_id}] ({tag}) SQL: {response.sql}")
+            if response.failure is not None:
+                print(f"    {response.failure.code}: {response.failure.message}")
+            elif args.rows and response.result is not None and response.result.ok:
+                try:
+                    for row in service.query(question, max_rows=args.rows):
+                        print(" ", row)
+                except ReproError as exc:
+                    print(f"  (execution failed: {exc})")
+        stats = service.stats()
+    if args.stats:
+        print(service.metrics.format_table())
+        cache = stats.get("cache")
+        if cache:
+            print(f"  cache size    {cache['size']}/{cache['capacity']}")
+        print(f"  breaker       {stats['breaker']['state']}")
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+        print(f"wrote stats to {args.stats_json}")
+    return 0
+
+
 def cmd_benchmark(args) -> int:
     from repro.bench import build_patients_benchmark
     from repro.eval import evaluate, format_table
@@ -225,6 +318,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
     "translate": cmd_translate,
+    "serve": cmd_serve,
     "benchmark": cmd_benchmark,
 }
 

@@ -54,3 +54,12 @@ class ModelError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark dataset could not be constructed or loaded."""
+
+
+class ServingError(ReproError):
+    """The query-serving layer was misconfigured or misused.
+
+    Runtime trouble (model failures, overload, timeouts) is *not*
+    reported through exceptions: the service degrades and returns a
+    structured response instead (see :mod:`repro.serving.service`).
+    """

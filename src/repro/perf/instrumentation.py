@@ -50,7 +50,22 @@ class StageStats:
 
     @property
     def items_per_second(self) -> float:
-        return self.items / self.seconds if self.seconds > 0 else 0.0
+        """Throughput; 0.0 for idle stages (zero items *or* zero time).
+
+        Serving snapshots consult this on live, possibly-empty stages
+        (an idle service has recorded no items and no seconds), so both
+        degenerate cases must yield a clean 0.0 rather than divide.
+        """
+        if self.items <= 0 or self.seconds <= 0:
+            return 0.0
+        return self.items / self.seconds
+
+    @property
+    def seconds_per_call(self) -> float:
+        """Mean wall-clock per recorded call; 0.0 before any call."""
+        if self.calls <= 0:
+            return 0.0
+        return self.seconds / self.calls
 
 
 @dataclass
@@ -90,7 +105,7 @@ class PerfRecorder:
         return self.stages[stage].seconds if stage in self.stages else 0.0
 
     def throughput(self, stage: str) -> float:
-        """Items/sec for one stage (0.0 if unmeasured)."""
+        """Items/sec for one stage (0.0 if unmeasured, idle, or timeless)."""
         return self.stages[stage].items_per_second if stage in self.stages else 0.0
 
     def report(self) -> dict[str, dict[str, float]]:

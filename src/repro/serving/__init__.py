@@ -1,0 +1,38 @@
+"""Concurrent query-serving layer over the DBPal runtime.
+
+PR 1 made the *offline* pipeline fast; this package makes the *online*
+path production-shaped: an admission queue and worker pool micro-batch
+concurrent questions into one ``translate_batch`` call, an
+anonymization-keyed TTL+LRU cache with single-flight coalescing
+deduplicates the model work, and a token bucket + circuit breaker +
+fallback chain keep the service answering (degraded, never crashed)
+while the model misbehaves.  See DESIGN.md §"Serving layer".
+"""
+
+from repro.serving.batcher import BatchRequest, MicroBatcher
+from repro.serving.cache import CacheHit, TranslationCache
+from repro.serving.config import ServingConfig
+from repro.serving.fallback import KeywordFallback
+from repro.serving.limits import CircuitBreaker, TokenBucket
+from repro.serving.metrics import MetricsRegistry, percentile
+from repro.serving.service import (
+    ServiceFailure,
+    ServingResponse,
+    TranslationService,
+)
+
+__all__ = [
+    "BatchRequest",
+    "CacheHit",
+    "CircuitBreaker",
+    "KeywordFallback",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ServiceFailure",
+    "ServingConfig",
+    "ServingResponse",
+    "TokenBucket",
+    "TranslationCache",
+    "TranslationService",
+    "percentile",
+]

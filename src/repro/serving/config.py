@@ -1,0 +1,107 @@
+"""Serving-layer knobs, one frozen dataclass.
+
+Mirrors :class:`repro.core.config.GenerationConfig` in spirit: every
+operational parameter of the online query service lives here with a
+production-ish default, validated on construction, and convertible to a
+plain dict for CLI flags and JSON reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """All knobs of the concurrent query-serving layer.
+
+    Batching
+    --------
+    workers:
+        Micro-batch worker threads draining the admission queue.
+    max_batch_size:
+        Upper bound on requests coalesced into one
+        :meth:`~repro.neural.base.TranslationModel.translate_batch` call.
+    batch_window:
+        Seconds a worker waits to fill a batch after its first request
+        arrives (the latency/throughput trade-off knob).
+    queue_capacity:
+        Admission-queue bound; requests beyond it are shed with a
+        structured ``queue_full`` rejection. ``0`` means unbounded.
+
+    Robustness
+    ----------
+    request_timeout:
+        Seconds a request waits for its translation before giving up
+        with a structured ``timeout`` response.
+    rate_limit:
+        Sustained requests/second admitted by the token bucket
+        (``0`` disables rate limiting).
+    burst:
+        Token-bucket capacity: how many requests may arrive back-to-back
+        before the sustained rate applies.
+    failure_threshold:
+        Consecutive model failures that open the circuit breaker.
+    cooldown:
+        Seconds the breaker stays open before letting one probe through.
+
+    Caching
+    -------
+    cache_capacity:
+        LRU entries in the translation cache (``0`` disables caching).
+    cache_ttl:
+        Seconds an entry stays fresh (``<= 0`` means never expires).
+    serve_stale_on_degrade:
+        Whether expired cache entries may be served while the model is
+        unavailable (graceful degradation).
+    preprocess_cache_capacity:
+        LRU entries memoizing the pre-processor on the *raw* question
+        string (``0`` disables).  Sound because preprocessing is
+        deterministic over a fixed database; it removes the
+        anonymization cost for repeated identical questions, which
+        dominate real traffic.
+    """
+
+    workers: int = 2
+    max_batch_size: int = 8
+    batch_window: float = 0.004
+    queue_capacity: int = 256
+    request_timeout: float = 10.0
+    rate_limit: float = 0.0
+    burst: int = 16
+    failure_threshold: int = 5
+    cooldown: float = 30.0
+    cache_capacity: int = 2048
+    cache_ttl: float = 300.0
+    serve_stale_on_degrade: bool = True
+    preprocess_cache_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServingError("workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        if self.batch_window < 0:
+            raise ServingError("batch_window must be >= 0")
+        if self.queue_capacity < 0:
+            raise ServingError("queue_capacity must be >= 0")
+        if self.request_timeout <= 0:
+            raise ServingError("request_timeout must be > 0")
+        if self.rate_limit < 0:
+            raise ServingError("rate_limit must be >= 0")
+        if self.burst < 1:
+            raise ServingError("burst must be >= 1")
+        if self.failure_threshold < 1:
+            raise ServingError("failure_threshold must be >= 1")
+        if self.cooldown < 0:
+            raise ServingError("cooldown must be >= 0")
+        if self.cache_capacity < 0:
+            raise ServingError("cache_capacity must be >= 0")
+        if self.preprocess_cache_capacity < 0:
+            raise ServingError("preprocess_cache_capacity must be >= 0")
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (JSON-ready, same field order as declared)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,68 @@
+"""Schema-keyword fallback translator (last resort before a hard error).
+
+When the model is unavailable (circuit open, crashed, or returned
+nothing parseable) the service degrades to this deterministic
+translator: match the question's lemmatized tokens against the schema's
+NL annotations, pick the best-covered table, and emit a simple
+projection over the matched columns (``SELECT col, ... FROM table`` or
+``SELECT * FROM table``).  The output is always parseable by
+:mod:`repro.sql`, so a degraded response is still a *runnable* query —
+a coarse answer beats a stack trace under partial outage.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.tokenizer import tokenize
+from repro.schema.schema import Schema
+
+
+def _phrase_token_set(phrases) -> frozenset[str]:
+    """All lemmatized tokens appearing in any of the NL phrases."""
+    tokens: set[str] = set()
+    for phrase in phrases:
+        tokens.update(tokenize(lemmatize(phrase)))
+    return frozenset(tokens)
+
+
+class KeywordFallback:
+    """Best-effort NL -> SQL via schema annotation keyword overlap."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._tables = [
+            (table.name, _phrase_token_set(table.nl_phrases)) for table in schema.tables
+        ]
+        self._columns = [
+            (table.name, column.name, _phrase_token_set(column.nl_phrases))
+            for table in schema.tables
+            for column in table.columns
+        ]
+
+    def translate(self, model_input: str) -> str | None:
+        """Translate preprocessed NL; ``None`` when nothing matches."""
+        question = set(tokenize(lemmatize(model_input)))
+        question.discard("@")
+        if not question:
+            return None
+        best_table: str | None = None
+        best_score = 0
+        for name, tokens in self._tables:
+            score = len(question & tokens)
+            if score > best_score:
+                best_table, best_score = name, score
+        column_hits = [
+            (table, column, len(question & tokens))
+            for table, column, tokens in self._columns
+            if question & tokens
+        ]
+        if best_table is None and column_hits:
+            # No table named directly; take the table of the best column.
+            best_table = max(column_hits, key=lambda hit: hit[2])[0]
+        if best_table is None:
+            return None
+        columns = [
+            column for table, column, _score in column_hits if table == best_table
+        ]
+        projection = ", ".join(dict.fromkeys(columns)) if columns else "*"
+        return f"SELECT {projection} FROM {best_table}"

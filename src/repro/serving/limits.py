@@ -1,0 +1,135 @@
+"""Admission control primitives: token-bucket rate limiter + circuit breaker.
+
+Both are small, lock-protected state machines with an injectable clock
+so tests can drive time explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/sec, up to ``burst`` stored.
+
+    ``rate <= 0`` disables limiting (every acquire succeeds).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        if self.rate <= 0:
+            return True
+        now = self._clock()
+        with self._lock:
+            elapsed = now - self._updated
+            self._updated = now
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+
+#: Circuit-breaker states (plain strings so snapshots are JSON-ready).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe after cooldown.
+
+    * ``closed``    — calls flow; ``failure_threshold`` consecutive
+      failures open the breaker;
+    * ``open``      — calls are refused until ``cooldown`` seconds pass;
+    * ``half_open`` — exactly one probe call is allowed; success closes
+      the breaker, failure re-opens it (restarting the cooldown).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opened_count = 0  # times the breaker tripped (for metrics)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        While open, the first caller after the cooldown elapses gets a
+        half-open probe slot; everyone else is refused until the probe
+        reports back.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN and (now - self._opened_at) >= self.cooldown:
+                self._state = HALF_OPEN
+                self._probe_in_flight = False
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            tripped = (
+                self._state == HALF_OPEN
+                or self._failures >= self.failure_threshold
+            )
+            if tripped:
+                if self._state != OPEN:
+                    self.opened_count += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._failures = 0
+                self._probe_in_flight = False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opened_count": self.opened_count,
+            }

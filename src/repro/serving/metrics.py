@@ -1,0 +1,127 @@
+"""Serving observability: counters, latency percentiles, batch histogram.
+
+A :class:`MetricsRegistry` is the single sink every serving component
+reports into.  It is deliberately boring — a lock, some counters, a
+bounded latency window — because it sits on the hot path of every
+request.  ``snapshot()`` produces the JSON-ready report surfaced by
+``repro serve --stats`` and written into ``BENCH_serving.json``; every
+derived rate in it is zero-guarded so an idle service snapshots cleanly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Callable, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+    if q <= 0:
+        rank = 0
+    return ordered[rank]
+
+
+class MetricsRegistry:
+    """Thread-safe accumulator of serving metrics.
+
+    Parameters
+    ----------
+    latency_window:
+        How many recent request latencies feed the percentile
+        estimates (a ring buffer: old samples age out under load).
+    clock:
+        Monotonic time source for the QPS denominator.
+    """
+
+    def __init__(
+        self,
+        latency_window: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._counters: Counter[str] = Counter()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._batch_sizes: Counter[int] = Counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def record_request(self, status: str, source: str, seconds: float) -> None:
+        """Fold one finished request into the registry."""
+        with self._lock:
+            self._counters["requests_total"] += 1
+            self._counters[f"status.{status}"] += 1
+            self._counters[f"source.{source}"] += 1
+            self._latencies.append(seconds)
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._counters["batches_total"] += 1
+            self._batch_sizes[size] += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready report; safe to call at any moment, even idle."""
+        with self._lock:
+            elapsed = self._clock() - self._started
+            total = self._counters.get("requests_total", 0)
+            latencies = list(self._latencies)
+            batch_sizes = dict(sorted(self._batch_sizes.items()))
+            counters = dict(sorted(self._counters.items()))
+        batched = sum(size * n for size, n in batch_sizes.items())
+        batches = sum(batch_sizes.values())
+        hits = counters.get("cache.hits", 0)
+        lookups = hits + counters.get("cache.misses", 0)
+        return {
+            "uptime_seconds": round(elapsed, 3),
+            "requests_total": total,
+            "qps": round(total / elapsed, 3) if elapsed > 0 else 0.0,
+            "latency": {
+                "samples": len(latencies),
+                "p50": round(percentile(latencies, 50), 6),
+                "p95": round(percentile(latencies, 95), 6),
+                "p99": round(percentile(latencies, 99), 6),
+                "max": round(max(latencies), 6) if latencies else 0.0,
+            },
+            "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "batch_size_histogram": {str(k): v for k, v in batch_sizes.items()},
+            "mean_batch_size": round(batched / batches, 3) if batches else 0.0,
+            "counters": counters,
+        }
+
+    def format_table(self, title: str = "serving stats") -> str:
+        """Fixed-width terminal rendering of :meth:`snapshot`."""
+        snap = self.snapshot()
+        lines = [
+            f"{title}:",
+            f"  requests      {snap['requests_total']}",
+            f"  qps           {snap['qps']:.1f}",
+            f"  latency p50   {snap['latency']['p50'] * 1000:.2f} ms",
+            f"  latency p95   {snap['latency']['p95'] * 1000:.2f} ms",
+            f"  latency p99   {snap['latency']['p99'] * 1000:.2f} ms",
+            f"  cache hitrate {snap['cache_hit_rate']:.1%}",
+            f"  mean batch    {snap['mean_batch_size']:.2f}",
+        ]
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<24s}{value}")
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""`translate_batch` contract audit across every registered model.
+
+The serving layer micro-batches concurrent requests into one
+``translate_batch`` call, so the batch path must be *observationally
+identical* to N independent ``translate`` calls — same outputs, same
+order, duplicates included, empty input returning an empty list.  A
+model that violated this would corrupt cached translations for every
+rider of the batch.
+"""
+
+import pytest
+
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.neural import (
+    CrossDomainModel,
+    RetrievalModel,
+    Seq2SeqModel,
+    SyntaxAwareModel,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_pairs(patients):
+    corpus = TrainingPipeline(
+        patients, GenerationConfig(size_slotfills=2), seed=11
+    ).generate()
+    return corpus.subsample(60, seed=11).pairs
+
+
+def _fitted_models(patients, pairs):
+    retrieval = RetrievalModel()
+    retrieval.fit(pairs)
+    seq2seq = Seq2SeqModel(embed_dim=8, hidden_dim=12, epochs=1, seed=0)
+    seq2seq.fit(pairs)
+    syntax = SyntaxAwareModel(embed_dim=8, hidden_dim=12, epochs=1, seed=0)
+    syntax.fit(pairs)
+    cross = CrossDomainModel(
+        SyntaxAwareModel(embed_dim=8, hidden_dim=12, epochs=1, seed=0),
+        [patients],
+        default_schema=patients,
+    )
+    cross.fit(pairs)
+    return {
+        "retrieval": retrieval,
+        "seq2seq": seq2seq,
+        "syntax": syntax,
+        "crossdomain": cross,
+    }
+
+
+@pytest.fixture(scope="module")
+def fitted_models(patients, tiny_pairs):
+    return _fitted_models(patients, tiny_pairs)
+
+
+MODEL_NAMES = ("retrieval", "seq2seq", "syntax", "crossdomain")
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestTranslateBatchContract:
+    def test_empty_input_returns_empty_list(self, fitted_models, name):
+        model = fitted_models[name]
+        assert model.translate_batch([]) == []
+
+    def test_batch_matches_independent_translate_calls(
+        self, fitted_models, tiny_pairs, name
+    ):
+        model = fitted_models[name]
+        inputs = [pair.nl for pair in tiny_pairs[:5]]
+        expected = [model.translate(nl) for nl in inputs]
+        assert model.translate_batch(inputs) == expected
+
+    def test_duplicates_translate_identically(self, fitted_models, tiny_pairs, name):
+        model = fitted_models[name]
+        question = tiny_pairs[0].nl
+        other = tiny_pairs[1].nl
+        batch = model.translate_batch([question, other, question, question])
+        assert len(batch) == 4
+        assert batch[0] == batch[2] == batch[3] == model.translate(question)
+        assert batch[1] == model.translate(other)
+
+    def test_unseen_and_empty_strings_are_per_item(self, fitted_models, name):
+        model = fitted_models[name]
+        inputs = ["", "zyx qwv unknowntoken"]
+        batch = model.translate_batch(inputs)
+        assert len(batch) == 2
+        assert batch == [model.translate(nl) for nl in inputs]
+
+    def test_output_length_always_matches(self, fitted_models, tiny_pairs, name):
+        model = fitted_models[name]
+        for size in (1, 2, 7):
+            inputs = [pair.nl for pair in tiny_pairs[:size]]
+            assert len(model.translate_batch(inputs)) == size

@@ -211,3 +211,41 @@ class TestGeneratorFastFail:
 
         with pytest.raises(GenerationError):
             GenerationConfig(miss_streak_limit=0)
+
+
+class TestStageStatsZeroGuards:
+    """Idle serving snapshots must never divide by zero (ISSUE 2)."""
+
+    def test_zero_second_zero_item_stage(self):
+        from repro.perf import PerfRecorder, StageStats
+
+        stats = StageStats()
+        assert stats.items_per_second == 0.0
+        assert stats.seconds_per_call == 0.0
+        recorder = PerfRecorder()
+        recorder.count("idle", 0)  # items without any time
+        assert recorder.throughput("idle") == 0.0
+        assert recorder.throughput("never-recorded") == 0.0
+        report = recorder.report()
+        assert report["idle"]["items_per_second"] == 0.0
+
+    def test_items_without_seconds(self):
+        from repro.perf import StageStats
+
+        stats = StageStats(seconds=0.0, calls=0, items=100)
+        assert stats.items_per_second == 0.0
+
+    def test_seconds_without_items(self):
+        from repro.perf import StageStats
+
+        stats = StageStats(seconds=2.0, calls=4, items=0)
+        assert stats.items_per_second == 0.0
+        assert stats.seconds_per_call == 0.5
+
+    def test_format_table_on_idle_recorder(self):
+        from repro.perf import PerfRecorder
+
+        recorder = PerfRecorder()
+        assert recorder.format_table()  # no stages: header only, no crash
+        recorder.count("merge", 0)
+        assert "merge" in recorder.format_table()

@@ -1,0 +1,43 @@
+"""Tier-1 smoke run of the serving load generator.
+
+``benchmarks/run_serving.py`` is executed end-to-end in miniature
+(``--smoke`` caps requests, clients, and corpus size) so the benchmark
+script cannot rot out from under the serving layer: it exercises the
+naive, closed-loop, and open-loop arms and must emit a well-formed
+record.  No throughput assertion here — speedup claims live in
+``benchmarks/test_perf_serving.py`` under the ``serving`` marker.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def test_smoke_run_writes_valid_record(tmp_path):
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from run_serving import main
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+    output = tmp_path / "BENCH_serving.json"
+    exit_code = main(["--smoke", "--requests", "24", "--output", str(output)])
+    assert exit_code == 0
+
+    record = json.loads(output.read_text(encoding="utf-8"))
+    assert record["benchmark"] == "serving_throughput"
+    assert record["requests"] == 24
+    modes = record["modes"]
+    assert set(modes) == {"naive", "serving_closed", "serving_open"}
+    # Every arm answered every request on the tiny workload.
+    assert modes["naive"]["ok"] == 24
+    assert modes["serving_closed"]["ok"] == 24
+    assert modes["serving_open"]["ok"] == 24
+    assert set(record["speedups"]) == {
+        "serving_closed_vs_naive",
+        "serving_open_vs_naive",
+    }
+    # Repeated question shapes must actually hit the shared cache.
+    assert modes["serving_closed"]["stats"]["cache_hit_rate"] > 0.0

@@ -1,0 +1,278 @@
+"""End-to-end TranslationService behavior: statuses, degradation,
+admission control, timeouts, async submission, and the CLI wiring.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.neural.base import TranslationModel
+from repro.runtime import DBPal
+from repro.serving import ServingConfig, TranslationService
+
+
+class ScriptedModel(TranslationModel):
+    """A model whose behavior per call is scripted by the test."""
+
+    def __init__(self) -> None:
+        self.mode = "ok"  # ok | none | crash | block
+        self.release = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def fit(self, pairs, **kwargs):
+        pass
+
+    def translate(self, nl):
+        return "SELECT COUNT(*) FROM patients"
+
+    def translate_batch(self, nls):
+        with self._lock:
+            self.calls += 1
+        if self.mode == "crash":
+            raise RuntimeError("injected model crash")
+        if self.mode == "none":
+            return [None] * len(nls)
+        if self.mode == "block":
+            self.release.wait(timeout=10.0)
+        return [self.translate(nl) for nl in nls]
+
+
+def make_service(patients_db, **config_kwargs) -> tuple[TranslationService, ScriptedModel]:
+    model = ScriptedModel()
+    defaults = dict(workers=2, batch_window=0.002, request_timeout=5.0)
+    defaults.update(config_kwargs)
+    service = TranslationService(
+        DBPal(patients_db, model), ServingConfig(**defaults)
+    )
+    return service, model
+
+
+# Distinct questions (distinct anonymized keys) for cache-busting.
+QUESTIONS = [
+    "what is the average age of all patients",
+    "how many patients are there",
+    "show the name of every patient",
+    "what is the maximum length of stay of all patients",
+    "list the diagnosis of each patient",
+    "what is the minimum age of all patients",
+]
+
+
+class TestHappyPath:
+    def test_ok_response_shape(self, patients_db):
+        service, _model = make_service(patients_db)
+        with service:
+            response = service.translate(QUESTIONS[0])
+        assert response.ok and response.status == "ok"
+        assert response.source == "model"
+        assert response.sql == "SELECT COUNT(*) FROM patients"
+        assert response.failure is None
+        assert response.latency > 0
+        assert response.request_id >= 1
+        payload = response.to_dict()
+        assert payload["status"] == "ok" and payload["failure"] is None
+        json.dumps(payload)  # must be JSON-serializable
+
+    def test_untrained_dbpal_rejected(self, patients_db):
+        from repro.errors import ServingError
+
+        with pytest.raises(ServingError):
+            TranslationService(DBPal(patients_db))
+
+    def test_submit_is_asynchronous(self, patients_db):
+        service, _model = make_service(patients_db)
+        with service:
+            futures = [service.submit(q) for q in QUESTIONS[:4]]
+            responses = [f.result(timeout=10.0) for f in futures]
+        assert [r.ok for r in responses] == [True] * 4
+        assert len({r.request_id for r in responses}) == 4
+
+    def test_query_executes_rows(self, patients_db):
+        service, _model = make_service(patients_db)
+        with service:
+            rows = service.query(QUESTIONS[1], max_rows=5)
+        assert rows and "COUNT(*)" in rows[0]
+
+    def test_perf_stages_recorded(self, patients_db):
+        service, _model = make_service(patients_db)
+        with service:
+            service.translate(QUESTIONS[0])
+            service.translate(QUESTIONS[0])  # cache hit: no model stage
+        stages = service.stats()["stages"]
+        assert stages["preprocess"]["calls"] == 2
+        assert stages["model_batch"]["items"] == 1
+        assert stages["postprocess"]["calls"] == 2
+
+
+class TestGracefulDegradation:
+    def test_model_crash_yields_structured_degraded_response(self, patients_db):
+        service, model = make_service(patients_db, failure_threshold=100)
+        model.mode = "crash"
+        with service:
+            response = service.translate("show the age of all patients")
+        # Keyword fallback produced runnable SQL; no exception escaped.
+        assert response.status == "degraded"
+        assert response.source == "fallback"
+        assert response.result is not None and "FROM patients" in response.sql
+        assert service.metrics.counter("degraded") == 1
+        assert service.metrics.counter("model.failures") == 1
+
+    def test_unmatchable_question_yields_structured_error(self, patients_db):
+        service, model = make_service(patients_db, failure_threshold=100)
+        model.mode = "crash"
+        with service:
+            response = service.translate("colorless green ideas sleep furiously")
+        assert response.status == "error"
+        assert response.failure is not None
+        assert response.failure.code == "model_unavailable"
+
+    def test_stale_cache_served_when_model_down(self, patients_db):
+        service, model = make_service(
+            patients_db, cache_ttl=0.01, failure_threshold=100
+        )
+        with service:
+            fresh = service.translate(QUESTIONS[0])
+            assert fresh.ok
+            time.sleep(0.03)  # let the entry expire
+            model.mode = "crash"
+            degraded = service.translate(QUESTIONS[0])
+        assert degraded.status == "degraded"
+        assert degraded.source == "cache"
+        assert degraded.sql == fresh.sql
+
+    def test_model_none_output_falls_back(self, patients_db):
+        service, model = make_service(patients_db)
+        model.mode = "none"
+        with service:
+            response = service.translate("show the age of all patients")
+        assert response.status == "degraded" and response.source == "fallback"
+        # Not a model outage: breaker stays closed, not retryable-coded.
+        assert service.breaker.state == "closed"
+
+
+class TestAdmissionControl:
+    def test_rate_limit_rejects_structured(self, patients_db):
+        service, _model = make_service(patients_db, rate_limit=0.001, burst=2)
+        with service:
+            statuses = [service.translate(QUESTIONS[i % 3]).status for i in range(4)]
+        assert statuses[:2] == ["ok", "ok"]
+        assert statuses[2:] == ["rejected", "rejected"]
+        stats = service.stats()
+        assert stats["counters"]["status.rejected"] == 2
+
+    def test_queue_full_sheds_structured(self, patients_db):
+        service, model = make_service(
+            patients_db,
+            workers=1,
+            max_batch_size=1,
+            queue_capacity=1,
+            request_timeout=10.0,
+        )
+        model.mode = "block"
+
+        def wait_for(condition):
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and not condition():
+                time.sleep(0.002)
+            assert condition()
+
+        with service:
+            first = service.submit(QUESTIONS[0])
+            # The single worker dequeues the first request and blocks
+            # inside the model ...
+            wait_for(lambda: model.calls == 1)
+            second = service.submit(QUESTIONS[1])
+            # ... so the second parks in the queue, filling it ...
+            wait_for(service._batcher._queue.full)
+            # ... and a third has nowhere to go: shed, not queued.
+            overflow = service.translate(QUESTIONS[2])
+            model.release.set()
+            results = [f.result(timeout=10.0) for f in (first, second)]
+        assert overflow.status == "rejected"
+        assert overflow.failure is not None and overflow.failure.code == "queue_full"
+        assert all(r.ok for r in results)
+        assert service.metrics.counter("shed.queue_full") == 1
+
+    def test_timeout_returns_structured_response(self, patients_db):
+        service, model = make_service(patients_db, request_timeout=0.05)
+        model.mode = "block"
+        with service:
+            response = service.translate(QUESTIONS[0])
+            model.release.set()
+        assert response.status == "timeout"
+        assert response.failure is not None and response.failure.code == "timeout"
+        assert service.metrics.counter("timeouts") == 1
+
+
+class TestStatsSnapshot:
+    def test_snapshot_sections(self, patients_db):
+        service, _model = make_service(patients_db)
+        with service:
+            for question in QUESTIONS[:3]:
+                service.translate(question)
+            snap = service.stats()
+        assert snap["requests_total"] == 3
+        assert snap["qps"] > 0
+        assert snap["latency"]["p50"] > 0
+        assert snap["breaker"]["state"] == "closed"
+        assert snap["cache"]["size"] == 3
+        assert snap["config"]["workers"] == 2
+        assert "preprocess" in snap["stages"]
+        json.dumps(snap)  # the whole snapshot must be JSON-ready
+
+    def test_idle_service_snapshots_cleanly(self, patients_db):
+        service, _model = make_service(patients_db)
+        snap = service.stats()  # never started, zero requests
+        assert snap["requests_total"] == 0
+        assert snap["qps"] == 0.0
+        assert snap["cache_hit_rate"] == 0.0
+        json.dumps(snap)
+
+
+class TestCliServe(object):
+    def test_serve_command_stdin(self, tmp_path, monkeypatch, capsys):
+        import io
+
+        from repro import GenerationConfig, RetrievalModel, TrainingPipeline
+        from repro.cli import main
+        from repro.neural import save_model
+        from repro.schema import patients_schema
+
+        # RetrievalModel isn't checkpointable; train + save a tiny seq2seq.
+        from repro.neural import Seq2SeqModel
+
+        corpus = TrainingPipeline(
+            patients_schema(), GenerationConfig(size_slotfills=2), seed=0
+        ).generate()
+        model = Seq2SeqModel(embed_dim=8, hidden_dim=12, epochs=1, seed=0)
+        model.fit(corpus.subsample(80, seed=0).pairs)
+        checkpoint = tmp_path / "ckpt.npz"
+        save_model(model, str(checkpoint))
+
+        stats_path = tmp_path / "stats.json"
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("show me the names of all patients\n\n"),
+        )
+        code = main(
+            [
+                "serve",
+                "patients",
+                "--checkpoint",
+                str(checkpoint),
+                "--stats",
+                "--stats-json",
+                str(stats_path),
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SQL:" in out and "serving stats" in out
+        written = json.loads(stats_path.read_text())
+        assert written["requests_total"] == 1
+        assert written["breaker"]["state"] in ("closed", "open", "half_open")
