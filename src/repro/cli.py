@@ -11,7 +11,10 @@ Commands:
 * ``serve``     — the same, through the concurrent serving layer
   (micro-batching, translation cache, circuit breaker) with an
   optional metrics snapshot (``--stats`` / ``--stats-json``);
-* ``benchmark`` — evaluate a checkpoint on the Patients benchmark.
+* ``benchmark`` — evaluate a checkpoint on the Patients benchmark;
+* ``db explain`` — show the planner's execution plan for a SQL query
+  against a populated sample database (``--execute`` also runs it and
+  prints per-stage timings).
 """
 
 from __future__ import annotations
@@ -137,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("benchmark", help="evaluate on the Patients benchmark")
     bench.add_argument("--checkpoint", required=True)
     bench.add_argument("--category", default="", help="restrict to one category")
+
+    db = sub.add_parser("db", help="database/executor utilities")
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+    db_explain = db_sub.add_parser(
+        "explain", help="show the planner's execution plan for a SQL query"
+    )
+    db_explain.add_argument("schema", help="schema name (see `schemas`)")
+    db_explain.add_argument("sql", help="SQL text (@JOIN form accepted)")
+    db_explain.add_argument(
+        "--rows-per-table", type=int, default=30, help="sample-data size"
+    )
+    db_explain.add_argument("--seed", type=int, default=7, help="sample-data seed")
+    db_explain.add_argument(
+        "--execute",
+        action="store_true",
+        help="also run the query, printing rows and per-stage timings",
+    )
     return parser
 
 
@@ -313,6 +333,40 @@ def cmd_benchmark(args) -> int:
     return 0
 
 
+def cmd_db(args) -> int:
+    from repro.db.planner import ExecutorSession, explain
+    from repro.errors import SqlError
+    from repro.perf import PerfRecorder
+    from repro.runtime.postprocess import PostProcessor
+    from repro.sql.parser import parse
+
+    schema = load_schema(args.schema)
+    database = populate(schema, rows_per_table=args.rows_per_table, seed=args.seed)
+    # Accept the @JOIN shorthand the translator emits: route the SQL
+    # through the post-processor so plans reflect what actually runs.
+    processed = PostProcessor(schema).process(args.sql)
+    if processed is not None:
+        query = processed.query
+    else:
+        try:
+            query = parse(args.sql)
+        except SqlError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(explain(query, database))
+    if args.execute:
+        recorder = PerfRecorder()
+        session = ExecutorSession(database, recorder=recorder)
+        rows = session.execute(query)
+        print(f"\n{len(rows)} row(s)")
+        for row in rows[:20]:
+            print(" ", row)
+        if len(rows) > 20:
+            print(f"  ... ({len(rows) - 20} more)")
+        print(recorder.format_table(title="executor perf"))
+    return 0
+
+
 _COMMANDS = {
     "schemas": cmd_schemas,
     "generate": cmd_generate,
@@ -320,6 +374,7 @@ _COMMANDS = {
     "translate": cmd_translate,
     "serve": cmd_serve,
     "benchmark": cmd_benchmark,
+    "db": cmd_db,
 }
 
 

@@ -1,10 +1,17 @@
-"""Query executor over the in-memory database.
+"""Reference query executor over the in-memory database.
 
 Implements the classic pipeline FROM → WHERE → GROUP BY → HAVING →
 SELECT → DISTINCT → ORDER BY → LIMIT for the SQL subset.  Multi-table
 FROM clauses are evaluated as a cross product filtered by the WHERE
 predicate — the shape the post-processor emits after expanding the
 ``@JOIN`` placeholder into explicit tables plus join conditions.
+
+This module is the *naive* reference arm: simple, obviously correct,
+and quadratic-or-worse on joins.  The optimized path lives in
+:mod:`repro.db.planner` (predicate pushdown + hash joins) and is
+property-checked to return bit-identical results; both paths share the
+post-join pipeline (:func:`finish_rows`) so grouping, ordering and
+projection can never diverge.
 
 Results are lists of dicts keyed by output-column labels, in output
 order.
@@ -13,9 +20,10 @@ order.
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from contextlib import nullcontext
+from typing import Any, Callable, Sequence
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, SchemaError
 from repro.db.expressions import JoinedRow, evaluate_predicate, resolve_column
 from repro.db.functions import evaluate_aggregate
 from repro.db.storage import Database, Row
@@ -33,13 +41,8 @@ from repro.sql.ast import (
 MAX_CROSS_PRODUCT = 2_000_000
 
 
-def execute(query: Query, database: Database, max_rows: int | None = None) -> list[Row]:
-    """Execute ``query`` against ``database``.
-
-    Raises :class:`~repro.errors.ExecutionError` for queries outside
-    the executable subset (unresolved placeholders, unknown tables or
-    columns, correlated subqueries).
-    """
+def validate_query(query: Query, database: Database) -> None:
+    """Reject queries outside the executable subset before touching rows."""
     if query.uses_join_placeholder:
         raise ExecutionError(
             f"cannot execute query with unresolved {JOIN_PLACEHOLDER} placeholder; "
@@ -51,23 +54,51 @@ def execute(query: Query, database: Database, max_rows: int | None = None) -> li
                 f"unknown table {table!r} in schema {database.schema.name!r}"
             )
 
-    subquery_cache: dict[int, Any] = {}
 
-    def subquery_values(sub: Subquery) -> Any:
-        key = id(sub)
-        if key not in subquery_cache:
-            subquery_cache[key] = _execute_subquery(sub.query, database)
-        return subquery_cache[key]
+def cross_product_error(
+    tables: Sequence[str], estimated_rows: int, schema=None
+) -> ExecutionError:
+    """The guard error: names the estimated size and the missing join.
+
+    When a ``schema`` is given, its join graph is consulted to propose
+    the FK equality predicate(s) that would have turned the cross
+    product into a hash join.
+    """
+    message = (
+        f"cross product of {list(tables)} has an estimated "
+        f"{estimated_rows:,} rows (limit {MAX_CROSS_PRODUCT:,}); refusing"
+    )
+    if schema is not None:
+        try:
+            fks = schema.join_path(list(tables))
+        except SchemaError:
+            fks = []
+        if fks:
+            conditions = " AND ".join(
+                f"{fk.table}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+                for fk in fks
+            )
+            message += f"; add a join predicate, e.g. WHERE {conditions}"
+    return ExecutionError(message)
+
+
+def execute(query: Query, database: Database, max_rows: int | None = None) -> list[Row]:
+    """Execute ``query`` against ``database`` (naive reference path).
+
+    Raises :class:`~repro.errors.ExecutionError` for queries outside
+    the executable subset (unresolved placeholders, unknown tables or
+    columns, correlated subqueries).
+    """
+    validate_query(query, database)
+    subquery_values = make_subquery_resolver(database, execute)
 
     # FROM: cross product of the referenced tables.
-    per_table_rows = [database.rows(t) for t in query.from_tables]
+    per_table_rows = [database.scan(t) for t in query.from_tables]
     size = 1
     for rows in per_table_rows:
         size *= max(len(rows), 1)
     if size > MAX_CROSS_PRODUCT:
-        raise ExecutionError(
-            f"cross product of {query.from_tables} has {size} rows; refusing"
-        )
+        raise cross_product_error(query.from_tables, size, database.schema)
     joined: list[JoinedRow] = [
         dict(zip(query.from_tables, combo))
         for combo in itertools.product(*per_table_rows)
@@ -81,27 +112,70 @@ def execute(query: Query, database: Database, max_rows: int | None = None) -> li
             if evaluate_predicate(query.where, row, subquery_values)
         ]
 
+    return finish_rows(query, joined, subquery_values, max_rows=max_rows)
+
+
+def make_subquery_resolver(
+    database: Database, exec_fn: Callable[[Query, Database], list[Row]]
+) -> Callable[[Subquery], Any]:
+    """A memoizing resolver for uncorrelated subqueries.
+
+    ``exec_fn`` is the executor to run subqueries with — the naive
+    :func:`execute` here, the planned path in :mod:`repro.db.planner`
+    (where a session additionally caches across top-level queries).
+    """
+    cache: dict[int, Any] = {}
+
+    def subquery_values(sub: Subquery) -> Any:
+        key = id(sub)
+        if key not in cache:
+            cache[key] = _subquery_result(sub.query, database, exec_fn)
+        return cache[key]
+
+    return subquery_values
+
+
+def finish_rows(
+    query: Query,
+    joined: list[JoinedRow],
+    subquery_values,
+    max_rows: int | None = None,
+    recorder=None,
+) -> list[Row]:
+    """The shared post-join pipeline: group → project → distinct →
+    order → limit.  Both executor arms funnel through this, so planned
+    and naive execution agree bit-for-bit past the join.
+
+    ``recorder`` (a :class:`~repro.perf.PerfRecorder`) gets ``group``
+    and ``sort`` stage timings when provided.
+    """
+
+    def stage(name: str):
+        return recorder.stage(name) if recorder is not None else nullcontext()
+
     has_aggregates = bool(query.aggregates()) or any(
         isinstance(i, Aggregate) for i in query.select
     )
 
-    if query.group_by or has_aggregates:
-        output = _execute_grouped(query, joined, subquery_values)
-    else:
-        output = _execute_plain(query, joined, subquery_values)
+    with stage("group"):
+        if query.group_by or has_aggregates:
+            output = _execute_grouped(query, joined, subquery_values)
+        else:
+            output = _execute_plain(query, joined, subquery_values)
 
-    if query.distinct:
-        seen: set[tuple] = set()
-        unique = []
-        for row in output:
-            key = tuple(row.values())
-            if key not in seen:
-                seen.add(key)
-                unique.append(row)
-        output = unique
+        if query.distinct:
+            seen: set[tuple] = set()
+            unique = []
+            for row in output:
+                key = tuple(row.values())
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            output = unique
 
     if query.order_by:
-        output = _order_rows(output, query)
+        with stage("sort"):
+            output = _order_rows(output, query)
 
     if query.limit is not None:
         output = output[: query.limit]
@@ -237,17 +311,9 @@ def _evaluate_group_predicate(pred, rows, key, query, subquery_values) -> bool:
 
 
 def _order_rows(output: list[Row], query: Query) -> list[Row]:
-    def sort_key(row: Row):
-        keys = []
-        for order in query.order_by:
-            label = str(order.expr)
-            value = row.get(label, row.get("__order__" + label))
-            # None sorts first ascending, last descending.
-            keys.append((value is None, value))
-        return tuple(keys)
-
     # Sort once per ORDER BY item, last key first, honouring per-key
-    # direction (Python's sort is stable).
+    # direction (Python's sort is stable, so earlier keys win ties and
+    # input order survives as the final tiebreak).
     result = list(output)
     for position in range(len(query.order_by) - 1, -1, -1):
         order = query.order_by[position]
@@ -257,8 +323,8 @@ def _order_rows(output: list[Row], query: Query) -> list[Row]:
             value = row.get(label, row.get("__order__" + label))
             missing = value is None
             if desc:
-                return (missing, _Reversed(value))
-            return (missing, _Comparable(value))
+                return (missing, _Reversed(value, label))
+            return (missing, _Comparable(value, label))
 
         result.sort(key=key_for)
     # Strip helper sort columns.
@@ -269,20 +335,31 @@ def _order_rows(output: list[Row], query: Query) -> list[Row]:
 
 
 class _Comparable:
-    """Total-order wrapper tolerating mixed types (None handled upstream)."""
+    """Total-order wrapper for sort keys (None handled upstream).
 
-    __slots__ = ("value",)
+    A sort key column holding values of incomparable types (e.g. model
+    output that mixes strings into a numeric column) raises
+    :class:`~repro.errors.ExecutionError` naming the offending ORDER BY
+    key, instead of leaking a bare ``TypeError`` out of ``list.sort``.
+    """
 
-    def __init__(self, value) -> None:
+    __slots__ = ("value", "label")
+
+    def __init__(self, value, label: str = "") -> None:
         self.value = value
+        self.label = label
 
     def __lt__(self, other: "_Comparable") -> bool:
         left, right = self.value, other.value
-        if isinstance(left, str) != isinstance(right, str):
-            return str(left) < str(right)
-        if left is None:
+        if left is None or right is None:
             return False
-        return left < right
+        try:
+            return left < right
+        except TypeError:
+            raise ExecutionError(
+                f"ORDER BY key {self.label!r} mixes incomparable types "
+                f"({type(left).__name__} vs {type(right).__name__})"
+            ) from None
 
     def __eq__(self, other) -> bool:
         return isinstance(other, _Comparable) and self.value == other.value
@@ -290,17 +367,19 @@ class _Comparable:
 
 class _Reversed(_Comparable):
     def __lt__(self, other: "_Comparable") -> bool:  # type: ignore[override]
-        return _Comparable(other.value) < _Comparable(self.value)
+        return _Comparable(other.value, self.label) < _Comparable(self.value, self.label)
 
 
-def _execute_subquery(query: Query, database: Database) -> Any:
+def _subquery_result(
+    query: Query, database: Database, exec_fn: Callable[[Query, Database], list[Row]]
+) -> Any:
     """Execute an uncorrelated subquery.
 
     * scalar subqueries (single aggregate select) return the scalar;
     * one-column subqueries return the list of values (for IN);
     * EXISTS subqueries return the raw row list.
     """
-    rows = execute(query, database)
+    rows = exec_fn(query, database)
     if len(query.select) == 1 and isinstance(query.select[0], Aggregate):
         if not rows:
             return None

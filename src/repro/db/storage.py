@@ -5,11 +5,23 @@ concrete rows.  Rows are plain dicts keyed by column name; values are
 ``int``/``float``/``str`` or ``None``.  The executor, the value index
 (constant anonymization), and the execution-based equivalence checker
 all operate on this structure.
+
+Reads come in two explicit flavours:
+
+* :meth:`Database.scan` — the hot path.  Returns a zero-copy, read-only
+  view (a lazily built tuple of the live row dicts); callers must not
+  mutate the rows.  The executor and planner scan tables through this.
+* :meth:`Database.rows` — the mutation-safe path.  Returns fresh
+  shallow copies on every call, for callers that want to edit rows
+  without touching storage.
+
+The :attr:`Database.version` counter increments on every insert so
+caching layers (hash indexes, result caches) can detect staleness.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import ExecutionError, SchemaError
 from repro.schema.column import ColumnType
@@ -24,10 +36,17 @@ class Database:
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._rows: dict[str, list[Row]] = {t.name: [] for t in schema.tables}
+        self._views: dict[str, tuple[Row, ...]] = {}
+        self._version = 0
 
     def __repr__(self) -> str:
         sizes = {name: len(rows) for name, rows in self._rows.items()}
         return f"Database({self.schema.name!r}, rows={sizes})"
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every insert (cache invalidation)."""
+        return self._version
 
     def insert(self, table_name: str, row: Mapping[str, Any]) -> None:
         """Insert one row; validates column names and value types."""
@@ -44,19 +63,40 @@ class Database:
                 f"row for table {table_name!r} has unknown columns {sorted(unknown)}"
             )
         self._rows[table_name].append(clean)
+        self._views.pop(table_name, None)
+        self._version += 1
 
     def insert_many(self, table_name: str, rows: Iterable[Mapping[str, Any]]) -> None:
         """Insert many rows."""
         for row in rows:
             self.insert(table_name, row)
 
-    def rows(self, table_name: str) -> list[Row]:
-        """All rows of a table (shallow copies, safe to mutate)."""
+    def scan(self, table_name: str) -> Sequence[Row]:
+        """Zero-copy, read-only view of a table's rows.
+
+        The returned tuple aliases the live row dicts — callers must
+        treat them as immutable.  The view is built once per table
+        version and shared by every scan, so repeated scans allocate
+        nothing (the per-row deep copies :meth:`rows` makes dominated
+        the executor profile before this existed).
+        """
         if table_name not in self._rows:
             raise SchemaError(
                 f"database {self.schema.name!r} has no table {table_name!r}"
             )
-        return [dict(row) for row in self._rows[table_name]]
+        view = self._views.get(table_name)
+        if view is None:
+            view = tuple(self._rows[table_name])
+            self._views[table_name] = view
+        return view
+
+    def rows(self, table_name: str) -> list[Row]:
+        """All rows of a table as fresh shallow copies (safe to mutate).
+
+        This is the explicit mutation-safe read; use :meth:`scan` for
+        read-only access without the per-call allocation churn.
+        """
+        return [dict(row) for row in self.scan(table_name)]
 
     def row_count(self, table_name: str) -> int:
         if table_name not in self._rows:

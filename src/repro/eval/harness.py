@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.bench.workloads import Workload, WorkloadItem
 from repro.eval.metrics import exact_match, semantic_match
 from repro.nlp.lemmatizer import lemmatize
+from repro.perf.instrumentation import PerfRecorder
 from repro.runtime.postprocess import PostProcessor
 from repro.schema.schema import Schema
 from repro.sql.difficulty import DIFFICULTY_ORDER, Difficulty
@@ -38,6 +39,10 @@ class EvalResult:
 
     workload_name: str
     records: list[ItemResult] = field(default_factory=list)
+    #: Harness stage timings (translate/postprocess/score) plus, for
+    #: execution-match scoring, the checker's executor stage timings
+    #: (scan/join/group/sort) and result-cache counters.
+    perf: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -74,6 +79,32 @@ class EvalResult:
         failed = [r for r in self.records if not r.correct]
         return failed[:limit] if limit is not None else failed
 
+    def summary(self) -> str:
+        """Accuracy plus per-stage timings, as a small text report."""
+        lines = [
+            f"{self.workload_name}: {len(self.records)} items, "
+            f"accuracy {self.accuracy:.3f}"
+        ]
+        stages = dict(self.perf.get("stages", {}))
+        stages.update(
+            {f"exec/{k}": v for k, v in self.perf.get("executor", {}).items()}
+        )
+        if stages:
+            width = max(len(name) for name in stages)
+            for name, stats in stages.items():
+                lines.append(
+                    f"  {name:<{width}}  {stats['seconds']:>8.3f}s"
+                    f"  x{stats['calls']}"
+                )
+        cache = self.perf.get("executor_cache")
+        if cache:
+            lines.append(
+                f"  gold/result cache: {cache['cache_hits']} hits / "
+                f"{cache['cache_misses']} misses "
+                f"({cache['cache_hit_rate']:.1%} hit rate)"
+            )
+        return "\n".join(lines)
+
 
 def evaluate(
     model,
@@ -97,33 +128,47 @@ def evaluate(
         postprocessors = {
             name: PostProcessor(schema) for name, schema in schemas.items()
         }
+    recorder = PerfRecorder()
     result = EvalResult(workload_name=workload.name)
     for item in workload:
         # Mirror the runtime pre-processing: benchmark NL is already
         # anonymized, but must still be lemmatized before translation.
         # Cross-domain models additionally receive the item's schema.
         schema = (schemas or {}).get(item.schema_name)
-        if schema is not None:
-            raw = model.translate_for_schema(lemmatize(item.nl), schema)
-        else:
-            raw = model.translate(lemmatize(item.nl))
+        with recorder.stage("translate"):
+            if schema is not None:
+                raw = model.translate_for_schema(lemmatize(item.nl), schema)
+            else:
+                raw = model.translate(lemmatize(item.nl))
         prediction: str | None = raw
         gold: object = item.sql
         post = postprocessors.get(item.schema_name)
         if post is not None:
-            processed = post.process(raw)
-            if processed is not None:
-                prediction = processed.sql
-            # Gold queries may use the @JOIN form too; run them through
-            # the same repair so both sides are in executable form.
-            gold_processed = post.process(item.sql_text)
-            if gold_processed is not None:
-                gold = gold_processed.query
-        if metric == "exact":
-            correct = exact_match(prediction, gold)
-        else:
-            correct = semantic_match(prediction, gold, checker)
+            with recorder.stage("postprocess"):
+                processed = post.process(raw)
+                if processed is not None:
+                    prediction = processed.sql
+                # Gold queries may use the @JOIN form too; run them
+                # through the same repair so both sides are in
+                # executable form.
+                gold_processed = post.process(item.sql_text)
+                if gold_processed is not None:
+                    gold = gold_processed.query
+        with recorder.stage("score"):
+            if metric == "exact":
+                correct = exact_match(prediction, gold)
+            else:
+                correct = semantic_match(prediction, gold, checker)
         result.records.append(
             ItemResult(item=item, prediction=prediction, correct=correct)
         )
+    result.perf = {"stages": recorder.report()}
+    if checker is not None and metric == "semantic":
+        # Execution-match scoring runs through the checker's planned,
+        # cached executor sessions; surface its stage timings too.
+        checker_report = checker.perf_report()
+        result.perf["executor"] = checker_report["stages"]
+        result.perf["executor_cache"] = {
+            k: v for k, v in checker_report.items() if k != "stages"
+        }
     return result

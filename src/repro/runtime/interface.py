@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import GenerationConfig
 from repro.core.pipeline import TrainingCorpus, TrainingPipeline
-from repro.db.executor import execute
+from repro.db.planner import ExecutorSession
 from repro.db.storage import Database, Row
 from repro.errors import TranslationError
 from repro.neural.base import TranslationModel
@@ -55,6 +55,12 @@ class DBPal:
         self.model = model
         self.preprocessor = Preprocessor(database)
         self.postprocessor = PostProcessor(database.schema)
+        # Planned executor session: hash joins + pushdown, per-column
+        # equality indexes (pre-screened by the parameter handler's
+        # value index), and a bounded result cache for repeat queries.
+        self.executor = ExecutorSession(
+            database, value_index=self.preprocessor.value_index
+        )
 
     # ------------------------------------------------------------------
 
@@ -100,7 +106,7 @@ class DBPal:
             raise TranslationError(
                 f"could not translate {nl!r} (model output: {result.model_output!r})"
             )
-        return execute(result.query, self.database, max_rows=max_rows)
+        return self.executor.execute(result.query, max_rows=max_rows)
 
     def explain(self, nl: str) -> str:
         """Human-readable trace of the translation pipeline for ``nl``."""

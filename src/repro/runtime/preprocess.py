@@ -30,6 +30,12 @@ class Preprocessor:
     def __init__(self, database: Database, parameter_handler: ParameterHandler | None = None) -> None:
         self._handler = parameter_handler or ParameterHandler(database)
 
+    @property
+    def value_index(self):
+        """The parameter handler's database value index (shared with the
+        planned executor so equality scans can be index-pruned)."""
+        return self._handler.index
+
     def preprocess(self, nl: str) -> PreprocessedQuery:
         anonymized: AnonymizedQuery = self._handler.anonymize(nl)
         return PreprocessedQuery(

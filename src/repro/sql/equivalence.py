@@ -44,10 +44,46 @@ class EquivalenceChecker:
         Sample databases (``repro.db.Database``) to probe.  More
         databases means a sharper execution check.  When empty, only
         the structural check runs.
+    recorder:
+        Optional :class:`~repro.perf.PerfRecorder` shared by every
+        probe session; the eval harness passes one so its summary can
+        report per-stage executor timings.
+    cache_size:
+        Per-database result-cache capacity.  Probe queries run through
+        the planned executor (:class:`repro.db.planner.ExecutorSession`)
+        with results cached on canonical SQL, so a gold query repeated
+        across an eval report executes once per database, not once per
+        prediction.
     """
 
-    def __init__(self, databases: Iterable = ()) -> None:
+    def __init__(
+        self, databases: Iterable = (), recorder=None, cache_size: int = 256
+    ) -> None:
         self._databases = list(databases)
+        self._cache_size = cache_size
+        self._sessions: list | None = None
+        if recorder is None:
+            from repro.perf.instrumentation import PerfRecorder
+
+            recorder = PerfRecorder()
+        self.recorder = recorder
+
+    def _probe_sessions(self) -> list:
+        """Build one cached executor session per probe database."""
+        if self._sessions is None:
+            from repro.db.planner import ExecutorSession  # lazy: db depends on sql
+
+            self._sessions = [
+                database
+                if isinstance(database, ExecutorSession)
+                else ExecutorSession(
+                    database,
+                    cache_size=self._cache_size,
+                    recorder=self.recorder,
+                )
+                for database in self._databases
+            ]
+        return self._sessions
 
     def equivalent(self, left: Query, right: Query) -> bool:
         """Whether ``left`` and ``right`` are semantically equivalent."""
@@ -55,14 +91,13 @@ class EquivalenceChecker:
             return True
         if not self._databases:
             return False
-        from repro.db.executor import execute  # lazy: db depends on sql
 
         order_sensitive = bool(left.order_by) and bool(right.order_by)
         agreed = False
-        for database in self._databases:
+        for session in self._probe_sessions():
             try:
-                left_rows = execute(left, database)
-                right_rows = execute(right, database)
+                left_rows = session.execute(left)
+                right_rows = session.execute(right)
             except (ExecutionError, ReproError):
                 # A query outside the executable subset (or referencing
                 # other schemas) cannot be certified by execution.
@@ -71,6 +106,19 @@ class EquivalenceChecker:
                 return False
             agreed = True
         return agreed
+
+    def perf_report(self) -> dict:
+        """Executor stage timings + cache counters over all probes."""
+        sessions = self._sessions or []
+        hits = sum(s.cache_hits for s in sessions)
+        misses = sum(s.cache_misses for s in sessions)
+        total = hits + misses
+        return {
+            "stages": self.recorder.report(),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": (hits / total) if total else 0.0,
+        }
 
 
 def _results_match(left_rows, right_rows, order_sensitive: bool) -> bool:

@@ -54,6 +54,11 @@ def to_sql(query: Query) -> str:
     return " ".join(parts)
 
 
+def predicate_to_sql(pred: Predicate) -> str:
+    """Render one predicate (used by the planner's EXPLAIN output)."""
+    return _pred(pred)
+
+
 def _item(item) -> str:
     if isinstance(item, (ColumnRef, Star, Aggregate)):
         return str(item)

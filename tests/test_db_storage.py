@@ -85,3 +85,41 @@ class TestRead:
         db = make_db()
         db.insert("t", {"a": 1})
         assert "'t': 1" in repr(db)
+
+
+class TestScan:
+    """The zero-copy read path behind the executors."""
+
+    def test_scan_returns_live_views_not_copies(self):
+        db = make_db()
+        db.insert("t", {"a": 1})
+        view = db.scan("t")
+        assert view[0] is db.scan("t")[0]  # same underlying dict, no copy
+
+    def test_scan_view_is_cached_per_version(self):
+        db = make_db()
+        db.insert("t", {"a": 1})
+        assert db.scan("t") is db.scan("t")
+        db.insert("t", {"a": 2})
+        assert len(db.scan("t")) == 2
+
+    def test_scan_unknown_table_raises(self):
+        db = make_db()
+        with pytest.raises(SchemaError):
+            db.scan("missing")
+
+    def test_version_bumps_on_insert_only(self):
+        db = make_db()
+        before = db.version
+        db.rows("t")
+        db.scan("t")
+        assert db.version == before
+        db.insert("t", {"a": 1})
+        assert db.version == before + 1
+
+    def test_rows_still_returns_mutation_safe_copies(self):
+        db = make_db()
+        db.insert("t", {"a": 1})
+        copies = db.rows("t")
+        copies[0]["a"] = 999
+        assert db.scan("t")[0]["a"] == 1

@@ -52,6 +52,36 @@ class TestSemanticEvaluation:
         assert exact.accuracy == 0.0
         assert semantic.accuracy == 1.0
 
+    def test_semantic_eval_reports_executor_perf_and_cache(self):
+        schema = patients_schema()
+        checker = EquivalenceChecker(
+            [populate(schema, rows_per_table=20, seed=1)]
+        )
+        sql = "SELECT name FROM patients WHERE age >= 20 AND age <= 60"
+        questions = ["question alpha", "question beta", "question gamma"]
+        items = [
+            WorkloadItem(
+                nl=nl,
+                sql=parse("SELECT name FROM patients WHERE age BETWEEN 20 AND 60"),
+                schema_name="patients",
+            )
+            for nl in questions
+        ]
+        model = _FixedModel({nl: sql for nl in questions})
+        result = evaluate(
+            model, Workload("w", items), metric="semantic", checker=checker
+        )
+        # Harness stage timings are always recorded...
+        assert {"translate", "score"} <= set(result.perf["stages"])
+        # ...and execution-match scoring surfaces the cached planned
+        # executor: the repeated gold query executes once, then hits.
+        assert result.perf["executor_cache"]["cache_hits"] > 0
+        assert "scan" in result.perf["executor"]
+        summary = result.summary()
+        assert "accuracy" in summary
+        assert "exec/scan" in summary
+        assert "cache" in summary
+
 
 class TestSearchResult:
     def make(self, accuracies):

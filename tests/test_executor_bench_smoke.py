@@ -1,0 +1,44 @@
+"""Tier-1 smoke run of the executor planning benchmark.
+
+``benchmarks/run_executor.py`` is executed end-to-end in miniature
+(``--smoke`` caps table sizes and repeats) so the benchmark script
+cannot rot out from under the planner: it exercises the naive, planned,
+and session-cached arms over both workloads and must emit a well-formed
+record whose arms returned identical results.  No speedup assertion
+here — that claim lives in ``benchmarks/test_perf_executor.py`` under
+the ``executor`` marker.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def test_smoke_run_writes_valid_record(tmp_path):
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from run_executor import main
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+    output = tmp_path / "BENCH_executor.json"
+    exit_code = main(["--smoke", "--output", str(output)])
+    assert exit_code == 0
+
+    record = json.loads(output.read_text(encoding="utf-8"))
+    assert record["benchmark"] == "executor_planning"
+    assert set(record["workloads"]) == {"single_table", "join_heavy"}
+    # The headline property: every arm returned bit-identical results.
+    assert record["identical"] is True
+    for workload in record["workloads"].values():
+        assert workload["identical"] is True
+        arms = workload["arms"]
+        assert set(arms) == {"naive", "planned", "planned_cached"}
+        # Identical workloads must see identical total row counts.
+        assert arms["naive"]["rows"] == arms["planned"]["rows"]
+        assert arms["naive"]["rows"] == arms["planned_cached"]["rows"]
+    # The repeated workload must actually hit the session cache.
+    cached = record["workloads"]["join_heavy"]["arms"]["planned_cached"]
+    assert cached["cache_hits"] > 0
