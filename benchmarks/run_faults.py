@@ -1,0 +1,275 @@
+"""Fault-tolerance benchmark — writes ``BENCH_faults.json``.
+
+Measures what the crash-safety layer costs and what it buys, in four
+arms over identical synthesis work (same seed → same corpus bytes):
+
+* ``plain``        — the PR 1 streaming path: ``generate_stream`` into
+  an atomic ``save_jsonl`` (no manifest, no supervisor).  The baseline
+  the ≤5% checkpointing-overhead target is judged against (the same
+  arm ``BENCH_synthesis.json`` measures as ``sequential``/``parallel``).
+* ``checkpointed`` — :func:`generate_checkpointed`: per-shard commit
+  protocol (flush + fsync + atomic manifest rename) and the resilient
+  executor, no faults injected.
+* ``recovery``     — a run interrupted at a shard boundary (injected
+  :data:`~repro.core.faults.INTERRUPT` fault) and then resumed;
+  measures recovery latency (wall-clock of the resumed leg) and
+  asserts the spliced file is byte-identical to ``checkpointed``.
+* ``quarantine``   — one poisoned template (persistent injected crash):
+  the run must complete anyway, with the failure named in the report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_faults.py [--profile full]
+        [--workers 0] [--smoke] [--output BENCH_faults.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.core import (
+    FaultPlan,
+    FaultSpec,
+    GenerationConfig,
+    ResilienceConfig,
+    TrainingPipeline,
+)
+from repro.core import faults as fault_kinds
+from repro.core.checkpoint import STATUS_QUARANTINE
+from repro.core.corpus_io import save_jsonl
+from repro.core.seed_templates import SEED_TEMPLATES
+from repro.errors import GracefulExit
+from repro.perf import PerfRecorder
+from repro.schema import load_schema
+
+#: Arm parameters per profile (smoke = tiny but exercises every arm).
+PROFILES = {
+    "smoke": {"size_slotfills": 2, "schemas": ("patients",), "templates": 8},
+    "fast": {"size_slotfills": 6, "schemas": ("patients", "geography"), "templates": None},
+    "full": {
+        "size_slotfills": 16,
+        "schemas": ("patients", "geography", "retail", "flights"),
+        "templates": None,
+    },
+}
+
+SEED = 42
+
+
+def _clear_global_caches() -> None:
+    """Reset process-wide caches so each timed arm starts cold."""
+    from repro.nlp.lemmatizer import lemmatize_word
+
+    if hasattr(lemmatize_word, "cache_clear"):
+        lemmatize_word.cache_clear()
+
+
+def _pipeline(profile: dict) -> TrainingPipeline:
+    schemas = [load_schema(name) for name in profile["schemas"]]
+    templates = SEED_TEMPLATES
+    if profile["templates"] is not None:
+        templates = SEED_TEMPLATES[: profile["templates"]]
+    config = GenerationConfig(size_slotfills=profile["size_slotfills"])
+    return TrainingPipeline(schemas, config, templates=templates, seed=SEED)
+
+
+def _arm_stats(seconds: float, pairs: int) -> dict:
+    return {
+        "seconds": round(seconds, 3),
+        "pairs": pairs,
+        "pairs_per_second": round(pairs / seconds, 1) if seconds > 0 else 0.0,
+    }
+
+
+def run_benchmark(profile_name: str, workers: int) -> dict:
+    profile = PROFILES[profile_name]
+    pipeline = _pipeline(profile)
+    shard_count = pipeline._engine().shard_count
+    resilience = ResilienceConfig(shard_timeout=120.0, backoff_base=0.01)
+    modes: dict[str, dict] = {}
+
+    with TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+
+        # -- plain (PR 1 streaming write, no checkpointing) -------------
+        plain_out = tmp_path / "plain.jsonl"
+        _clear_global_caches()
+        start = time.perf_counter()
+        written = save_jsonl(
+            (
+                pair
+                for batch in pipeline.generate_stream(workers=workers)
+                for pair in batch
+            ),
+            plain_out,
+        )
+        modes["plain"] = _arm_stats(time.perf_counter() - start, written)
+
+        # -- checkpointed (no faults) -----------------------------------
+        ckpt_out = tmp_path / "checkpointed.jsonl"
+        recorder = PerfRecorder()
+        _clear_global_caches()
+        start = time.perf_counter()
+        report = pipeline.generate_checkpointed(
+            ckpt_out,
+            workers=workers,
+            resilience=resilience,
+            recorder=recorder,
+        )
+        modes["checkpointed"] = _arm_stats(
+            time.perf_counter() - start, report.new_pairs
+        )
+        modes["checkpointed"]["status"] = report.status
+        modes["checkpointed"]["stages"] = recorder.report()
+        assert plain_out.read_bytes() == ckpt_out.read_bytes(), (
+            "checkpointed corpus diverged from the plain streaming write"
+        )
+
+        # -- recovery: interrupt at a shard boundary, then resume -------
+        rec_out = tmp_path / "recovery.jsonl"
+        interrupt_at = shard_count // 2
+        plan = FaultPlan(
+            (FaultSpec(fault_kinds.INTERRUPT, shard_index=interrupt_at),)
+        )
+        first_leg = PerfRecorder()
+        start = time.perf_counter()
+        try:
+            pipeline.generate_checkpointed(
+                rec_out,
+                workers=workers,
+                resilience=resilience,
+                faults=plan,
+                recorder=first_leg,
+            )
+            raise AssertionError("injected interrupt did not fire")
+        except GracefulExit:
+            pass
+        interrupted_seconds = time.perf_counter() - start
+        resumed_leg = PerfRecorder()
+        start = time.perf_counter()
+        resumed = pipeline.generate_checkpointed(
+            rec_out,
+            workers=workers,
+            resume=True,
+            resilience=resilience,
+            recorder=resumed_leg,
+        )
+        recovery_seconds = time.perf_counter() - start
+        first_leg.merge(resumed_leg)  # one logical run across both legs
+        assert rec_out.read_bytes() == ckpt_out.read_bytes(), (
+            "resumed corpus is not byte-identical to the uninterrupted run"
+        )
+        modes["recovery"] = {
+            "interrupted_after_shards": interrupt_at + 1,
+            "interrupted_seconds": round(interrupted_seconds, 3),
+            "recovery_seconds": round(recovery_seconds, 3),
+            "resumed_shards_skipped": resumed.resumed_shards,
+            "pairs_total": resumed.pairs_written,
+            "byte_identical": True,
+            "stages": first_leg.report(),
+        }
+
+        # -- quarantine: one poisoned template never aborts the run -----
+        poison_out = tmp_path / "quarantine.jsonl"
+        poison_shard = min(3, shard_count - 1)
+        plan = FaultPlan(
+            (FaultSpec(fault_kinds.CRASH, shard_index=poison_shard, attempts=99),)
+        )
+        start = time.perf_counter()
+        qreport = pipeline.generate_checkpointed(
+            poison_out,
+            workers=workers,
+            resilience=ResilienceConfig(max_attempts=2, backoff_base=0.01),
+            faults=plan,
+        )
+        assert qreport.status == STATUS_QUARANTINE, qreport.status
+        assert len(qreport.quarantined) == 1
+        failure = qreport.quarantined[0]
+        modes["quarantine"] = {
+            "seconds": round(time.perf_counter() - start, 3),
+            "status": qreport.status,
+            "completed_shards": qreport.completed_shards,
+            "quarantined": [f.to_dict() for f in qreport.quarantined],
+            "run_survived": True,
+        }
+        assert failure.schema_name and failure.template_id
+
+    plain_pps = modes["plain"]["pairs_per_second"]
+    ckpt_pps = modes["checkpointed"]["pairs_per_second"]
+    overhead_pct = (
+        round((plain_pps / ckpt_pps - 1.0) * 100.0, 2) if ckpt_pps > 0 else 0.0
+    )
+    return {
+        "benchmark": "fault_tolerance",
+        "profile": profile_name,
+        "seed": SEED,
+        "workers": workers,
+        "shard_count": shard_count,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "modes": modes,
+        "checkpoint_overhead_pct": overhead_pct,
+        "overhead_target_pct": 5.0,
+        "overhead_within_target": overhead_pct <= 5.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", choices=("fast", "full"), default="full"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload exercising every arm (overrides --profile)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="synthesis workers per arm (0 = inline; identical output)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_faults.json"),
+    )
+    args = parser.parse_args(argv)
+    profile = "smoke" if args.smoke else args.profile
+    record = run_benchmark(profile, workers=args.workers)
+    output = Path(args.output)
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    for mode in ("plain", "checkpointed"):
+        stats = record["modes"][mode]
+        print(
+            f"  {mode:<14} {stats['seconds']:>8.3f}s"
+            f"  {stats['pairs_per_second']:>9.1f} pairs/s"
+        )
+    recovery = record["modes"]["recovery"]
+    print(
+        f"  recovery       interrupted after {recovery['interrupted_after_shards']}"
+        f" shards, resumed in {recovery['recovery_seconds']:.3f}s"
+        f" (skipped {recovery['resumed_shards_skipped']})"
+    )
+    quarantine = record["modes"]["quarantine"]
+    failure = quarantine["quarantined"][0]
+    print(
+        f"  quarantine     run survived; [{failure['code']}] "
+        f"schema={failure['schema']} template={failure['template_id']}"
+    )
+    print(
+        f"  checkpoint overhead {record['checkpoint_overhead_pct']:+.2f}% "
+        f"(target <= {record['overhead_target_pct']:.0f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,12 @@ Commands:
 
 * ``schemas``   — list the built-in schemas;
 * ``generate``  — synthesize a training corpus for a schema and write
-  it to JSONL/TSV;
+  it to JSONL/TSV.  Generation is checkpointed: a shard-progress
+  manifest is committed alongside the output, ``--resume`` continues an
+  interrupted run bit-identically, ``--shard-timeout`` and
+  ``--max-attempts`` bound how long a misbehaving shard may stall the
+  run before it is quarantined.  Exit status: 0 complete, 3 complete
+  with quarantined shards, 130 interrupted (resumable);
 * ``train``     — synthesize + train a model, saving a checkpoint;
 * ``translate`` — load a checkpoint and answer questions (one-shot or
   interactive REPL) against a populated sample database;
@@ -20,13 +25,40 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 
 from repro.core import GenerationConfig, TrainingPipeline
-from repro.core.corpus_io import save_jsonl, save_tsv
 from repro.db import populate
-from repro.errors import ReproError
+from repro.errors import GracefulExit, ReproError
 from repro.schema import SCHEMA_FACTORIES, load_schema
+
+#: Exit statuses (``generate`` documents these as its contract).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_QUARANTINE = 3
+EXIT_INTERRUPTED = 130
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Convert SIGTERM into :class:`GracefulExit` for orderly shutdown.
+
+    Lets long-running commands flush checkpoints and print a one-line
+    "resumable" message instead of dying with a traceback (SIGINT
+    already arrives as ``KeyboardInterrupt``).
+    """
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal signature
+        raise GracefulExit("terminated")
+
+    previous = signal.getsignal(signal.SIGTERM)
+    signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -92,6 +124,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf",
         action="store_true",
         help="print per-stage wall-clock timings and pairs/sec",
+    )
+    fault = generate.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run from its manifest (skips "
+        "completed shards; output is bit-identical to an uninterrupted run)",
+    )
+    fault.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=0.0,
+        help="wall-clock budget per shard attempt in seconds "
+        "(0 = unlimited; enforced with --workers >= 1)",
+    )
+    fault.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per shard before it is quarantined",
+    )
+    fault.add_argument(
+        "--flush-every",
+        type=int,
+        default=0,
+        help="commit the manifest every N shards (0 = adaptive: commit "
+        "at most every ~0.5s; uncommitted shards regenerate on resume)",
+    )
+    fault.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="disable the manifest/resume machinery (plain streaming write)",
     )
     _add_config_arguments(generate)
 
@@ -173,6 +237,9 @@ def cmd_generate(args) -> int:
     from collections import Counter
     from itertools import chain
 
+    from repro.core import ResilienceConfig, manifest_path_for
+    from repro.core.checkpoint import STATUS_COMPLETE
+    from repro.core.corpus_io import save_jsonl, save_tsv
     from repro.perf import PerfRecorder
 
     schema = load_schema(args.schema)
@@ -187,28 +254,85 @@ def cmd_generate(args) -> int:
     families: Counter = Counter()
     augmentations: Counter = Counter()
 
-    def tally(batches):
+    def tally_batch(batch) -> None:
         # Corpus batches stream straight to disk; only counters stay.
-        for batch in batches:
-            for pair in batch:
-                families[pair.family.value] += 1
-                augmentations[pair.augmentation] += 1
-            yield batch
+        for pair in batch:
+            families[pair.family.value] += 1
+            augmentations[pair.augmentation] += 1
 
     start = time.perf_counter()
-    stream = chain.from_iterable(tally(pipeline.generate_stream(recorder=recorder)))
-    writer = save_jsonl if args.format == "jsonl" else save_tsv
-    written = writer(stream, args.output)
+    if args.no_checkpoint:
+        if args.resume:
+            print("error: --resume requires checkpointing", file=sys.stderr)
+            return EXIT_ERROR
+
+        def tally(batches):
+            for batch in batches:
+                tally_batch(batch)
+                yield batch
+
+        stream = chain.from_iterable(
+            tally(pipeline.generate_stream(recorder=recorder))
+        )
+        writer = save_jsonl if args.format == "jsonl" else save_tsv
+        written = writer(stream, args.output)
+        report = None
+        status = STATUS_COMPLETE
+    else:
+        resilience = ResilienceConfig(
+            shard_timeout=args.shard_timeout, max_attempts=args.max_attempts
+        )
+        try:
+            with _graceful_sigterm():
+                report = pipeline.generate_checkpointed(
+                    args.output,
+                    fmt=args.format,
+                    resume=args.resume,
+                    resilience=resilience,
+                    recorder=recorder,
+                    on_batch=tally_batch,
+                    flush_every=args.flush_every,
+                )
+        except (KeyboardInterrupt, GracefulExit):
+            manifest = manifest_path_for(args.output)
+            print(
+                f"interrupted — resumable from checkpoint {manifest} "
+                f"(rerun with --resume)",
+                file=sys.stderr,
+            )
+            return EXIT_INTERRUPTED
+        written = report.new_pairs
+        status = report.status
+
     elapsed = time.perf_counter() - start
     print(f"wrote {written} pairs to {args.output}")
+    if report is not None and report.resumed_shards:
+        print(
+            f"resumed from checkpoint: {report.resumed_shards} shard(s) "
+            f"skipped, {report.pairs_written} pairs total"
+        )
     print(f"families: {dict(families)}")
     print(f"augmentations: {dict(augmentations)}")
+    if report is not None and report.quarantined:
+        print(
+            f"quarantined {len(report.quarantined)} shard(s) "
+            f"({status}):", file=sys.stderr
+        )
+        for failure in report.quarantined:
+            print(
+                f"  [{failure.code}] schema={failure.schema_name} "
+                f"template={failure.template_id} "
+                f"seed=(entropy={failure.seed_entropy}, "
+                f"spawn_key={list(failure.seed_spawn_key)}) "
+                f"after {failure.attempts} attempt(s): {failure.message}",
+                file=sys.stderr,
+            )
     if recorder is not None:
         print(recorder.format_table(title="synthesis perf"))
         rate = written / elapsed if elapsed > 0 else 0.0
         print(f"wall-clock: {elapsed:.3f}s ({rate:.1f} pairs/sec, "
               f"workers={args.workers})")
-    return 0
+    return EXIT_OK if status == STATUS_COMPLETE else EXIT_QUARANTINE
 
 
 def cmd_train(args) -> int:
@@ -277,29 +401,39 @@ def cmd_serve(args) -> int:
     nlidb = DBPal(database, load_model(args.checkpoint))
     interactive = sys.stdin.isatty()
 
-    with TranslationService(nlidb, _serving_config_from(args)) as service:
+    interrupted = False
+    # The context manager drains in-flight requests and stops the
+    # worker pool on exit, interrupt included — no request is dropped
+    # mid-batch, and an interrupt exits with a one-liner, not a
+    # traceback.
+    with _graceful_sigterm(), TranslationService(
+        nlidb, _serving_config_from(args)
+    ) as service:
         if interactive:
             print("DBPal serving REPL — empty line to exit")
-        while True:
-            try:
-                question = input("nl> " if interactive else "").strip()
-            except EOFError:
-                break
-            if not question:
-                if interactive:
-                    break
-                continue
-            response = service.translate(question)
-            tag = response.status if response.status != "ok" else response.source
-            print(f"[{response.request_id}] ({tag}) SQL: {response.sql}")
-            if response.failure is not None:
-                print(f"    {response.failure.code}: {response.failure.message}")
-            elif args.rows and response.result is not None and response.result.ok:
+        try:
+            while True:
                 try:
-                    for row in service.query(question, max_rows=args.rows):
-                        print(" ", row)
-                except ReproError as exc:
-                    print(f"  (execution failed: {exc})")
+                    question = input("nl> " if interactive else "").strip()
+                except EOFError:
+                    break
+                if not question:
+                    if interactive:
+                        break
+                    continue
+                response = service.translate(question)
+                tag = response.status if response.status != "ok" else response.source
+                print(f"[{response.request_id}] ({tag}) SQL: {response.sql}")
+                if response.failure is not None:
+                    print(f"    {response.failure.code}: {response.failure.message}")
+                elif args.rows and response.result is not None and response.result.ok:
+                    try:
+                        for row in service.query(question, max_rows=args.rows):
+                            print(" ", row)
+                    except ReproError as exc:
+                        print(f"  (execution failed: {exc})")
+        except (KeyboardInterrupt, GracefulExit):
+            interrupted = True
         stats = service.stats()
     if args.stats:
         print(service.metrics.format_table())
@@ -311,6 +445,12 @@ def cmd_serve(args) -> int:
         with open(args.stats_json, "w", encoding="utf-8") as handle:
             json.dump(stats, handle, indent=2, sort_keys=True)
         print(f"wrote stats to {args.stats_json}")
+    if interrupted:
+        print(
+            "interrupted — workers drained, service stopped cleanly",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return 0
 
 

@@ -1,12 +1,26 @@
 """DBPal core: the training-data synthesis pipeline (the paper's contribution)."""
 
 from repro.core.augmenter import Augmenter
+from repro.core.checkpoint import (
+    CheckpointedWriter,
+    CorpusManifest,
+    GenerationReport,
+    generate_checkpointed,
+    manifest_path_for,
+)
 from repro.core.comparatives import ComparativeAugmenter
-from repro.core.config import GenerationConfig
+from repro.core.config import GenerationConfig, ResilienceConfig
 from repro.core.corpus_io import load_jsonl, load_tsv, save_jsonl, save_tsv
 from repro.core.dropout import WordDropout
+from repro.core.faults import NO_FAULTS, FaultPlan, FaultSpec
 from repro.core.generator import Generator, generate_for_schemas
-from repro.core.parallel import EngineState, SynthesisEngine, synthesize_shard
+from repro.core.parallel import (
+    EngineState,
+    ShardFailure,
+    ShardOutcome,
+    SynthesisEngine,
+    synthesize_shard,
+)
 from repro.core.paraphraser import Paraphraser
 from repro.core.pipeline import TrainingCorpus, TrainingPipeline
 from repro.core.seed_templates import (
@@ -37,19 +51,28 @@ from repro.core.tuning import (
 
 __all__ = [
     "Augmenter",
+    "CheckpointedWriter",
     "ComparativeAugmenter",
+    "CorpusManifest",
     "EngineState",
     "Family",
+    "FaultPlan",
+    "FaultSpec",
+    "NO_FAULTS",
     "FilterSpec",
     "GROUPBY_VARIANTS",
     "GenerationConfig",
+    "GenerationReport",
     "Generator",
     "KIND_REGISTRY",
     "ParaphraseKind",
     "Paraphraser",
+    "ResilienceConfig",
     "SEED_TEMPLATES",
     "SearchResult",
     "SeedTemplate",
+    "ShardFailure",
+    "ShardOutcome",
     "SlotFill",
     "SynthesisEngine",
     "TrainingCorpus",
@@ -60,7 +83,9 @@ __all__ = [
     "build_seed_templates",
     "builder_for",
     "dedupe_pairs",
+    "generate_checkpointed",
     "generate_for_schemas",
+    "manifest_path_for",
     "synthesize_shard",
     "grid_search",
     "load_jsonl",

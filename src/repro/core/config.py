@@ -124,3 +124,42 @@ class GenerationConfig:
     def to_dict(self) -> dict:
         """Flat dict of all parameters (for logging and reports)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance policy for the sharded synthesis engine.
+
+    Controls how :meth:`repro.core.parallel.SynthesisEngine.iter_outcomes`
+    reacts when a shard misbehaves.  Deliberately *not* part of
+    :class:`GenerationConfig`: these knobs change how the run executes,
+    never what corpus it produces (a retried shard reruns with the same
+    ``SeedSequence``-derived streams, so its pairs are bit-identical).
+    """
+
+    #: Wall-clock budget per shard attempt, seconds.  ``0`` disables
+    #: timeout enforcement (a hung shard then hangs the run).  Only
+    #: enforceable with ``workers >= 1`` — the inline executor cannot
+    #: preempt its own process.
+    shard_timeout: float = 0.0
+    #: Total attempts per shard (first try + retries) before the shard
+    #: is quarantined instead of aborting the run.
+    max_attempts: int = 3
+    #: Exponential-backoff delay before retry *n* is
+    #: ``min(backoff_cap, backoff_base * 2**(n-1))`` seconds.
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout < 0:
+            raise GenerationError("shard_timeout must be >= 0")
+        if self.max_attempts < 1:
+            raise GenerationError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise GenerationError("backoff delays must be >= 0")
+
+    def backoff_delay(self, failed_attempts: int) -> float:
+        """Delay before the next attempt after ``failed_attempts`` failures."""
+        if failed_attempts <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * 2 ** (failed_attempts - 1))

@@ -13,13 +13,24 @@ Both writers accept a :class:`TrainingCorpus` or any iterable of
 :meth:`TrainingPipeline.generate_stream` batches), so a corpus can be
 streamed to disk while it is being synthesized instead of being
 materialized in memory first.
+
+Both writers are **atomic**: pairs are written to a ``<path>.tmp.<pid>``
+sibling which is :func:`os.replace`-d over the destination only after
+the full stream has been consumed and flushed.  An interrupt (or an
+exception raised mid-iteration by the producing stream) therefore never
+leaves a truncated corpus file that a later ``--resume`` — or any other
+reader — would silently trust; the previous file, if any, survives
+untouched.  Incremental, crash-*resumable* writing is the separate
+:mod:`repro.core.checkpoint` layer, which pairs the output file with a
+manifest instead.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.pipeline import TrainingCorpus
 from repro.core.templates import Family, TrainingPair
@@ -33,28 +44,64 @@ def _iter_pairs(
     return corpus.pairs if isinstance(corpus, TrainingCorpus) else corpus
 
 
+def jsonl_line(pair: TrainingPair) -> str:
+    """The canonical JSONL serialization of one pair (with newline)."""
+    record = {
+        "nl": pair.nl,
+        "sql": pair.sql_text,
+        "template_id": pair.template_id,
+        "family": pair.family.value,
+        "schema": pair.schema_name,
+        "augmentation": pair.augmentation,
+    }
+    return json.dumps(record) + "\n"
+
+
+def tsv_line(pair: TrainingPair) -> str:
+    """The canonical ``NL \\t SQL`` serialization of one pair."""
+    nl = pair.nl.replace("\t", " ")
+    return f"{nl}\t{pair.sql_text}\n"
+
+
+#: format name -> per-pair line encoder (shared with the checkpointed
+#: writer, which must produce byte-identical files).
+LINE_ENCODERS: dict[str, Callable[[TrainingPair], str]] = {
+    "jsonl": jsonl_line,
+    "tsv": tsv_line,
+}
+
+
+def _atomic_write(
+    corpus: TrainingCorpus | Iterable[TrainingPair],
+    path: str | Path,
+    encode: Callable[[TrainingPair], str],
+) -> int:
+    """Stream ``corpus`` through ``encode`` into ``path`` atomically."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    written = 0
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for pair in _iter_pairs(corpus):
+                handle.write(encode(pair))
+                written += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    os.replace(tmp, path)
+    return written
+
+
 def save_jsonl(
     corpus: TrainingCorpus | Iterable[TrainingPair], path: str | Path
 ) -> int:
     """Write a corpus (or pair stream) to JSON-lines with full metadata.
 
-    Returns the number of pairs written.
+    Atomic (tmp + rename); returns the number of pairs written.
     """
-    path = Path(path)
-    written = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for pair in _iter_pairs(corpus):
-            record = {
-                "nl": pair.nl,
-                "sql": pair.sql_text,
-                "template_id": pair.template_id,
-                "family": pair.family.value,
-                "schema": pair.schema_name,
-                "augmentation": pair.augmentation,
-            }
-            handle.write(json.dumps(record) + "\n")
-            written += 1
-    return written
+    return _atomic_write(corpus, path, jsonl_line)
 
 
 def load_jsonl(path: str | Path) -> TrainingCorpus:
@@ -89,17 +136,10 @@ def save_tsv(
 ) -> int:
     """Write a plain ``NL \\t SQL`` file (for external seq2seq tooling).
 
-    Accepts a corpus or a pair stream; returns the number of pairs
-    written.
+    Accepts a corpus or a pair stream; atomic (tmp + rename); returns
+    the number of pairs written.
     """
-    path = Path(path)
-    written = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for pair in _iter_pairs(corpus):
-            nl = pair.nl.replace("\t", " ")
-            handle.write(f"{nl}\t{pair.sql_text}\n")
-            written += 1
-    return written
+    return _atomic_write(corpus, path, tsv_line)
 
 
 def load_tsv(path: str | Path, schema_name: str = "") -> TrainingCorpus:

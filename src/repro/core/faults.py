@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the synthesis engine.
+
+Fault tolerance that is only exercised by real outages is fault
+tolerance that has rotted.  This module provides *injectable* failure
+points so the resilience layer (shard timeout, bounded retry, worker
+re-dispatch, quarantine, checkpointed resume) can be driven through
+every failure mode by ordinary deterministic tests and by
+``benchmarks/run_faults.py``:
+
+* :data:`CRASH` — the shard raises :class:`~repro.errors.FaultInjected`;
+* :data:`HANG` — the shard sleeps past any reasonable timeout;
+* :data:`KILL` — the worker process SIGKILLs itself mid-shard
+  (simulates OOM-killer / hardware death);
+* :data:`PARTIAL_WRITE` — the checkpointed writer emits only a prefix
+  of the shard's bytes and hard-exits (simulates power loss mid-write);
+* :data:`INTERRUPT` — the writer raises
+  :class:`~repro.errors.GracefulExit` *after* committing the shard
+  (simulates Ctrl-C at a shard boundary).
+
+A :class:`FaultPlan` is an immutable, picklable set of
+:class:`FaultSpec` rules shipped to worker processes alongside the
+engine state.  Matching is purely a function of (shard coordinates,
+attempt number), so injected failures are reproducible across runs,
+worker counts, and process boundaries — the same property the corpus
+itself has.
+
+``attempts`` bounds how many attempts of a shard fail: ``attempts=1``
+fails the first attempt only (retry then succeeds — the transient-fault
+shape), while ``attempts >= max_attempts`` makes the shard poisoned
+(every retry fails — the quarantine shape).
+
+.. warning::
+   :data:`KILL` and :data:`HANG` take down / stall the process that
+   runs the shard.  Use them with ``workers >= 1`` so the casualty is a
+   supervised worker, not the test runner; :data:`PARTIAL_WRITE`
+   hard-exits the *writer* process and belongs in subprocess tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import FaultInjected
+
+#: Fault kinds (see module docstring).
+CRASH = "crash"
+HANG = "hang"
+KILL = "kill"
+PARTIAL_WRITE = "partial_write"
+INTERRUPT = "interrupt"
+
+#: Kinds injected inside ``synthesize_shard`` (worker side).
+SHARD_KINDS = frozenset({CRASH, HANG, KILL})
+#: Kinds injected by the checkpointed writer (parent side).
+WRITER_KINDS = frozenset({PARTIAL_WRITE, INTERRUPT})
+
+_VALID_KINDS = SHARD_KINDS | WRITER_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule: *where* it fires and *how it fails*.
+
+    A spec matches a shard when every provided selector
+    (``shard_index``, ``schema_name``, ``template_id``) matches and the
+    attempt number is below ``attempts``.  ``None`` selectors are
+    wildcards, so ``FaultSpec(CRASH, template_id="T12")`` poisons
+    template T12 on every schema.
+    """
+
+    kind: str
+    shard_index: int | None = None
+    schema_name: str | None = None
+    template_id: str | None = None
+    #: Number of leading attempts that fail (attempt numbers are
+    #: 0-based; ``attempts=2`` fails attempts 0 and 1).
+    attempts: int = 1
+    #: Sleep duration for :data:`HANG` faults.
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def matches(
+        self,
+        shard_index: int,
+        schema_name: str,
+        template_id: str,
+        attempt: int,
+    ) -> bool:
+        if attempt >= self.attempts:
+            return False
+        if self.shard_index is not None and self.shard_index != shard_index:
+            return False
+        if self.schema_name is not None and self.schema_name != schema_name:
+            return False
+        if self.template_id is not None and self.template_id != template_id:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable collection of :class:`FaultSpec` rules."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def find(
+        self,
+        kinds: frozenset[str],
+        shard_index: int,
+        schema_name: str,
+        template_id: str,
+        attempt: int,
+    ) -> FaultSpec | None:
+        """First spec of one of ``kinds`` matching the shard/attempt."""
+        for spec in self.specs:
+            if spec.kind in kinds and spec.matches(
+                shard_index, schema_name, template_id, attempt
+            ):
+                return spec
+        return None
+
+
+#: The no-op plan (shared instance; ``bool(NO_FAULTS)`` is False).
+NO_FAULTS = FaultPlan()
+
+
+def fire_shard_fault(spec: FaultSpec, shard_index: int) -> None:
+    """Execute a worker-side fault (called from ``synthesize_shard``)."""
+    if spec.kind == CRASH:
+        raise FaultInjected(
+            f"injected crash in shard {shard_index}"
+        )
+    if spec.kind == HANG:
+        # Sleep in slices so a terminated process dies promptly even on
+        # platforms where signals do not interrupt a long sleep.
+        deadline = time.monotonic() + spec.hang_seconds
+        while time.monotonic() < deadline:
+            time.sleep(min(0.05, spec.hang_seconds))
+        return
+    if spec.kind == KILL:
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise FaultInjected(
+        f"fault kind {spec.kind!r} cannot fire inside a shard"
+    )  # pragma: no cover - guarded by SHARD_KINDS at lookup

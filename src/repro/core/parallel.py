@@ -23,22 +23,42 @@ Workers also time their own stages (generate/augment/lemmatize) and
 return ``{stage: seconds}`` alongside the pairs, so a
 :class:`repro.perf.PerfRecorder` can aggregate per-stage CPU time even
 for multi-process runs.
+
+On top of the plain sharded engine sits the **fault-tolerance layer**
+(:meth:`SynthesisEngine.iter_outcomes`): per-shard execution wrapped in
+a wall-clock timeout and bounded retry with exponential backoff,
+supervised worker processes whose death is detected and whose shard is
+re-dispatched, and quarantine — a shard that keeps failing is reported
+as a :class:`ShardFailure` naming its (schema, template, seed) triple
+instead of killing the run.  Because retries rerun a shard with the
+same ``SeedSequence``-derived streams, resilience never changes the
+corpus, only whether the run survives.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as _conn_wait
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.core.augmenter import Augmenter
-from repro.core.config import GenerationConfig
+from repro.core.config import GenerationConfig, ResilienceConfig
+from repro.core.faults import NO_FAULTS, SHARD_KINDS, FaultPlan, fire_shard_fault
 from repro.core.generator import Generator
 from repro.core.seed_templates import SEED_TEMPLATES
 from repro.core.templates import SeedTemplate, TrainingPair, dedupe_pairs
-from repro.errors import GenerationError
+from repro.errors import (
+    E_SHARD_CRASH,
+    E_SHARD_TIMEOUT,
+    E_WORKER_DIED,
+    GenerationError,
+)
 from repro.nlp.lemmatizer import lemmatize
 from repro.nlp.ppdb import ParaphraseDatabase
 from repro.perf.instrumentation import StageTimer
@@ -73,7 +93,10 @@ class EngineState:
 
 
 def synthesize_shard(
-    state: EngineState, shard_index: int
+    state: EngineState,
+    shard_index: int,
+    attempt: int = 0,
+    faults: FaultPlan = NO_FAULTS,
 ) -> tuple[list[TrainingPair], dict[str, float]]:
     """Run generate → augment → lemmatize for one (schema, template).
 
@@ -81,9 +104,16 @@ def synthesize_shard(
     wall-clock seconds.  Deterministic: the RNG streams depend only on
     ``state.seed`` and ``shard_index`` — ``SeedSequence`` spawn keys
     guarantee independence between shards and reproducibility across
-    processes.
+    processes.  ``attempt`` never feeds the RNG (retried shards are
+    bit-identical); it only selects fault-injection rules.
     """
     schema, template = state.shard_coords(shard_index)
+    if faults:
+        spec = faults.find(
+            SHARD_KINDS, shard_index, schema.name, template.tid, attempt
+        )
+        if spec is not None:
+            fire_shard_fault(spec, shard_index)
     shard_seq = np.random.SeedSequence(
         entropy=state.seed, spawn_key=(shard_index,)
     )
@@ -135,6 +165,323 @@ def _run_shard(shard_index: int):
     if _WORKER_STATE is None:  # pragma: no cover - defensive
         raise GenerationError("synthesis worker used before initialization")
     return synthesize_shard(_WORKER_STATE, shard_index)
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerance layer: outcomes, supervised workers, retry/quarantine
+# ----------------------------------------------------------------------
+
+OUTCOME_OK = "ok"
+OUTCOME_QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """Why one shard was quarantined — the report's unit record.
+
+    Names the offending (schema, template, seed) triple so the failure
+    is independently reproducible:
+    ``SeedSequence(entropy=seed_entropy, spawn_key=tuple(seed_spawn_key))``
+    recreates the exact RNG streams of the failing shard.
+    """
+
+    shard_index: int
+    schema_name: str
+    template_id: str
+    seed_entropy: int
+    seed_spawn_key: tuple[int, ...]
+    code: str  # E_SHARD_CRASH | E_SHARD_TIMEOUT | E_WORKER_DIED
+    message: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_index": self.shard_index,
+            "schema": self.schema_name,
+            "template_id": self.template_id,
+            "seed": {
+                "entropy": self.seed_entropy,
+                "spawn_key": list(self.seed_spawn_key),
+            },
+            "code": self.code,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Terminal result of one shard under the fault-tolerance layer."""
+
+    shard_index: int
+    status: str  # OUTCOME_OK | OUTCOME_QUARANTINED
+    pairs: list[TrainingPair] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    attempts: int = 1
+    failure: ShardFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OUTCOME_OK
+
+
+def _worker_main(conn: Connection, state: EngineState, faults: FaultPlan) -> None:
+    """Supervised worker loop: recv (shard, attempt), send the result.
+
+    Runs in a child process.  Any exception a shard raises — organic or
+    injected — is reported over the pipe and the worker stays alive for
+    the next task; only process death (KILL faults, real crashes of the
+    interpreter) ends the loop, which the parent detects as EOF.
+    """
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                return
+            _, shard_index, attempt = message
+            try:
+                pairs, timings = synthesize_shard(
+                    state, shard_index, attempt=attempt, faults=faults
+                )
+                conn.send(("ok", shard_index, attempt, pairs, timings))
+            except Exception as exc:  # noqa: BLE001 — reported, not fatal
+                detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+                conn.send(("error", shard_index, attempt, detail))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle for one supervised worker process."""
+
+    process: mp.process.BaseProcess
+    conn: Connection
+    shard: int | None = None  # currently dispatched shard
+    attempt: int = 0
+    deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.shard is not None
+
+    def dispatch(self, shard: int, attempt: int, timeout: float) -> None:
+        self.shard = shard
+        self.attempt = attempt
+        self.deadline = (time.monotonic() + timeout) if timeout > 0 else None
+        self.conn.send(("run", shard, attempt))
+
+    def clear(self) -> None:
+        self.shard = None
+        self.deadline = None
+
+    def destroy(self) -> None:
+        try:
+            self.process.kill()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        self.process.join()
+        self.conn.close()
+
+
+class _ShardSupervisor:
+    """Runs shards on supervised workers with timeout/retry/quarantine.
+
+    Unlike :class:`~concurrent.futures.ProcessPoolExecutor` — where one
+    dead worker breaks the whole pool and a hung task occupies a slot
+    forever — the supervisor owns each worker process individually: a
+    shard that exceeds its deadline gets its worker killed and
+    replaced, a worker that dies mid-shard is detected via pipe EOF and
+    its shard re-dispatched, and a shard that exhausts its attempt
+    budget is quarantined while the rest of the run proceeds.
+    """
+
+    def __init__(
+        self,
+        state: EngineState,
+        workers: int,
+        resilience: ResilienceConfig,
+        faults: FaultPlan,
+    ) -> None:
+        self._state = state
+        self._resilience = resilience
+        self._faults = faults
+        self._ctx = mp.get_context()
+        self._workers = [self._spawn() for _ in range(max(1, workers))]
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._state, self._faults),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its end
+        return _Worker(process=process, conn=parent_conn)
+
+    def shutdown(self) -> None:
+        for worker in self._workers:
+            worker.destroy()
+        self._workers = []
+
+    # -- attempt bookkeeping -------------------------------------------
+
+    def _fail_attempt(
+        self,
+        shard: int,
+        code: str,
+        message: str,
+        attempts: dict[int, int],
+        pending: list[tuple[float, int]],
+        results: dict[int, ShardOutcome],
+    ) -> None:
+        attempts[shard] = attempts.get(shard, 0) + 1
+        failed = attempts[shard]
+        if failed >= self._resilience.max_attempts:
+            results[shard] = _quarantine_outcome(
+                self._state, shard, code, message, failed
+            )
+            return
+        not_before = time.monotonic() + self._resilience.backoff_delay(failed)
+        pending.append((not_before, shard))
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self, shards: Sequence[int]) -> Iterator[ShardOutcome]:
+        """Yield a terminal :class:`ShardOutcome` per shard, in order."""
+        order = list(shards)
+        pending: list[tuple[float, int]] = [(0.0, s) for s in order]
+        attempts: dict[int, int] = {}
+        results: dict[int, ShardOutcome] = {}
+        yield_at = 0
+
+        while yield_at < len(order):
+            now = time.monotonic()
+            # Dispatch eligible shards (lowest index first) to idle workers.
+            idle = [w for w in self._workers if not w.busy]
+            if idle and pending:
+                pending.sort(key=lambda item: (item[0], item[1]))
+                for worker in idle:
+                    ready = next(
+                        (i for i, (t, _) in enumerate(pending) if t <= now), None
+                    )
+                    if ready is None:
+                        break
+                    _, shard = pending.pop(ready)
+                    try:
+                        worker.dispatch(
+                            shard,
+                            attempts.get(shard, 0),
+                            self._resilience.shard_timeout,
+                        )
+                    except OSError:  # worker died while idle — replace it
+                        self._workers.remove(worker)
+                        worker.destroy()
+                        self._workers.append(self._spawn())
+                        pending.append((now, shard))
+
+            # Surface every terminally-resolved shard in shard order.
+            while yield_at < len(order) and order[yield_at] in results:
+                yield results.pop(order[yield_at])
+                yield_at += 1
+            if yield_at >= len(order):
+                break
+
+            # Wait for the next event: a result, a deadline, or backoff
+            # expiry that frees a pending shard for an idle worker.
+            busy = [w for w in self._workers if w.busy]
+            wakeups = [w.deadline for w in busy if w.deadline is not None]
+            if pending and any(not w.busy for w in self._workers):
+                wakeups.append(min(t for t, _ in pending))
+            timeout = None
+            if wakeups:
+                timeout = max(0.0, min(wakeups) - time.monotonic())
+            ready_conns = (
+                _conn_wait([w.conn for w in busy], timeout) if busy else []
+            )
+
+            for worker in list(self._workers):
+                if worker.conn not in ready_conns:
+                    continue
+                shard = worker.shard
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-shard (e.g. SIGKILL). Replace it.
+                    self._workers.remove(worker)
+                    worker.destroy()
+                    self._workers.append(self._spawn())
+                    self._fail_attempt(
+                        shard,
+                        E_WORKER_DIED,
+                        f"worker process died while running shard {shard}",
+                        attempts,
+                        pending,
+                        results,
+                    )
+                    continue
+                worker.clear()
+                if message[0] == "ok":
+                    _, shard_index, attempt, pairs, timings = message
+                    results[shard_index] = ShardOutcome(
+                        shard_index,
+                        OUTCOME_OK,
+                        pairs=pairs,
+                        timings=timings,
+                        attempts=attempt + 1,
+                    )
+                else:
+                    _, shard_index, _attempt, detail = message
+                    self._fail_attempt(
+                        shard_index,
+                        E_SHARD_CRASH,
+                        detail,
+                        attempts,
+                        pending,
+                        results,
+                    )
+
+            # Enforce per-shard deadlines: kill and replace the worker,
+            # charge the shard one failed attempt.
+            now = time.monotonic()
+            for worker in list(self._workers):
+                if not worker.busy or worker.deadline is None:
+                    continue
+                if worker.conn in ready_conns or now < worker.deadline:
+                    continue
+                shard = worker.shard
+                self._workers.remove(worker)
+                worker.destroy()
+                self._workers.append(self._spawn())
+                self._fail_attempt(
+                    shard,
+                    E_SHARD_TIMEOUT,
+                    f"shard {shard} exceeded "
+                    f"{self._resilience.shard_timeout:g}s timeout",
+                    attempts,
+                    pending,
+                    results,
+                )
+
+
+def _quarantine_outcome(
+    state: EngineState, shard: int, code: str, message: str, attempts: int
+) -> ShardOutcome:
+    schema, template = state.shard_coords(shard)
+    failure = ShardFailure(
+        shard_index=shard,
+        schema_name=schema.name,
+        template_id=template.tid,
+        seed_entropy=state.seed,
+        seed_spawn_key=(shard,),
+        code=code,
+        message=message,
+        attempts=attempts,
+    )
+    return ShardOutcome(
+        shard, OUTCOME_QUARANTINED, attempts=attempts, failure=failure
+    )
 
 
 class SynthesisEngine:
@@ -192,6 +539,77 @@ class SynthesisEngine:
             initargs=(self.state,),
         ) as pool:
             yield from pool.map(_run_shard, indices, chunksize=chunksize)
+
+    def iter_outcomes(
+        self,
+        workers: int = 0,
+        resilience: ResilienceConfig | None = None,
+        faults: FaultPlan = NO_FAULTS,
+        skip: frozenset[int] | set[int] = frozenset(),
+    ) -> Iterator[ShardOutcome]:
+        """Fault-tolerant shard execution: one terminal outcome per shard.
+
+        Yields a :class:`ShardOutcome` for every shard not in ``skip``,
+        in ascending shard order (the order the checkpointed writer
+        commits them).  A shard that crashes is retried with
+        exponential backoff up to ``resilience.max_attempts`` times and
+        then **quarantined** — reported as a failure outcome naming its
+        (schema, template, seed) triple — rather than aborting the run.
+        With ``workers >= 1`` shards run on individually supervised
+        worker processes: a hung shard is killed at
+        ``resilience.shard_timeout`` and a dead worker is detected and
+        replaced, its shard re-dispatched.  The inline path
+        (``workers=0``) retries and quarantines crashes but cannot
+        preempt hangs or survive process death.
+
+        Retried shards rerun with identical RNG streams, so for any
+        fault plan that eventually lets every shard succeed the merged
+        corpus is bit-identical to a fault-free run.
+        """
+        resilience = resilience or ResilienceConfig()
+        shards = [i for i in range(self.state.shard_count) if i not in skip]
+        if workers <= 0:
+            for shard_index in shards:
+                yield self._run_inline(shard_index, resilience, faults)
+            return
+        supervisor = _ShardSupervisor(self.state, workers, resilience, faults)
+        try:
+            yield from supervisor.run(shards)
+        finally:
+            supervisor.shutdown()
+
+    def _run_inline(
+        self,
+        shard_index: int,
+        resilience: ResilienceConfig,
+        faults: FaultPlan,
+    ) -> ShardOutcome:
+        failed = 0
+        while True:
+            try:
+                pairs, timings = synthesize_shard(
+                    self.state, shard_index, attempt=failed, faults=faults
+                )
+            except Exception as exc:  # noqa: BLE001 — retried/quarantined
+                detail = traceback.format_exception_only(type(exc), exc)[-1]
+                failed += 1
+                if failed >= resilience.max_attempts:
+                    return _quarantine_outcome(
+                        self.state,
+                        shard_index,
+                        E_SHARD_CRASH,
+                        detail.strip(),
+                        failed,
+                    )
+                time.sleep(resilience.backoff_delay(failed))
+                continue
+            return ShardOutcome(
+                shard_index,
+                OUTCOME_OK,
+                pairs=pairs,
+                timings=timings,
+                attempts=failed + 1,
+            )
 
     def iter_batches(
         self, workers: int = 0, recorder=None

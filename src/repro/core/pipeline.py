@@ -153,6 +153,46 @@ class TrainingPipeline:
             pairs.extend(batch)
         return TrainingCorpus(pairs)
 
+    def generate_checkpointed(
+        self,
+        output,
+        fmt: str = "jsonl",
+        workers: int | None = None,
+        resume: bool = False,
+        resilience=None,
+        faults=None,
+        recorder=None,
+        on_batch=None,
+        flush_every: int = 0,
+    ):
+        """Crash-safe synthesis straight to ``output`` with a manifest.
+
+        The fault-tolerant counterpart of streaming
+        :meth:`generate_stream` into :func:`repro.core.corpus_io.save_jsonl`:
+        shards are committed to the file in canonical order alongside a
+        ``<output-stem>.manifest.json`` progress manifest, crashed or
+        hung shards are retried and eventually quarantined instead of
+        killing the run, and ``resume=True`` skips already-committed
+        shards, producing a file bit-identical to an uninterrupted run.
+        Returns a :class:`repro.core.checkpoint.GenerationReport`.
+        """
+        from repro.core.checkpoint import generate_checkpointed
+        from repro.core.faults import NO_FAULTS
+
+        effective = self._workers if workers is None else workers
+        return generate_checkpointed(
+            self._engine(),
+            output,
+            fmt=fmt,
+            workers=effective,
+            resume=resume,
+            resilience=resilience,
+            faults=faults or NO_FAULTS,
+            recorder=recorder,
+            on_batch=on_batch,
+            flush_every=flush_every,
+        )
+
     # ------------------------------------------------------------------
     # Pluggable model training
     # ------------------------------------------------------------------

@@ -1,15 +1,95 @@
-"""Exception hierarchy for the DBPal reproduction.
+"""Exception hierarchy and error-code taxonomy for the DBPal reproduction.
 
 Every error raised by this package derives from :class:`ReproError` so
 that callers can catch the whole family with a single ``except`` clause
 while still being able to discriminate by subsystem.
+
+Machine-readable failures additionally carry a **stable error code**
+from the :data:`ERROR_CODES` taxonomy (``E_SHARD_TIMEOUT``,
+``E_CORPUS_CORRUPT``, ...).  Codes — not exception class names or
+message strings — are the contract for anything that persists or
+transmits failures: synthesis quarantine reports, corpus manifests, and
+the serving layer's ``ServingResponse.failure`` all draw from this one
+table, so a dashboard (or a test) can match on ``code`` regardless of
+which subsystem produced the failure.
 """
 
 from __future__ import annotations
 
+# ----------------------------------------------------------------------
+# Stable error codes (the cross-subsystem failure taxonomy)
+# ----------------------------------------------------------------------
+
+#: Synthesis fault tolerance ------------------------------------------
+E_SHARD_TIMEOUT = "E_SHARD_TIMEOUT"
+E_SHARD_CRASH = "E_SHARD_CRASH"
+E_WORKER_DIED = "E_WORKER_DIED"
+E_CORPUS_CORRUPT = "E_CORPUS_CORRUPT"
+E_MANIFEST_MISMATCH = "E_MANIFEST_MISMATCH"
+E_INTERRUPTED = "E_INTERRUPTED"
+E_FAULT_INJECTED = "E_FAULT_INJECTED"
+
+#: Serving ------------------------------------------------------------
+E_RATE_LIMITED = "E_RATE_LIMITED"
+E_QUEUE_FULL = "E_QUEUE_FULL"
+E_TIMEOUT = "E_TIMEOUT"
+E_MODEL_UNAVAILABLE = "E_MODEL_UNAVAILABLE"
+E_UNTRANSLATABLE = "E_UNTRANSLATABLE"
+
+#: code -> human description.  The single registry; every code used in
+#: a quarantine report, manifest, or ServingResponse appears here.
+ERROR_CODES: dict[str, str] = {
+    E_SHARD_TIMEOUT: "synthesis shard exceeded its wall-clock budget",
+    E_SHARD_CRASH: "synthesis shard raised an exception",
+    E_WORKER_DIED: "synthesis worker process died mid-shard",
+    E_CORPUS_CORRUPT: "corpus file disagrees with its manifest",
+    E_MANIFEST_MISMATCH: "manifest was written by an incompatible run",
+    E_INTERRUPTED: "run interrupted; resumable from checkpoint",
+    E_FAULT_INJECTED: "failure injected by the fault harness",
+    E_RATE_LIMITED: "admission rate exceeded",
+    E_QUEUE_FULL: "admission queue is full",
+    E_TIMEOUT: "no answer within the request deadline",
+    E_MODEL_UNAVAILABLE: "translation model unavailable or degraded",
+    E_UNTRANSLATABLE: "input cannot be translated",
+}
+
+#: Serving wire codes (``ServiceFailure.code``, kept short for the API
+#: surface) -> canonical taxonomy code.
+_SERVING_WIRE_CODES = {
+    "rate_limited": E_RATE_LIMITED,
+    "queue_full": E_QUEUE_FULL,
+    "timeout": E_TIMEOUT,
+    "model_unavailable": E_MODEL_UNAVAILABLE,
+    "untranslatable": E_UNTRANSLATABLE,
+}
+
+
+def canonical_code(code: str) -> str:
+    """Map any failure code (wire or canonical) to its ``E_*`` form.
+
+    Unknown codes pass through unchanged so forward-compatible callers
+    never crash on a code minted after they shipped.
+    """
+    if code in ERROR_CODES:
+        return code
+    return _SERVING_WIRE_CODES.get(code, code)
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    ``code`` is the taxonomy code (``E_*``) when the error has a stable
+    machine-readable identity; ``None`` for purely programmatic errors.
+    Subclasses may fix a class-level default, and any instance can
+    override it via the ``code=`` keyword.
+    """
+
+    code: str | None = None
+
+    def __init__(self, *args, code: str | None = None) -> None:
+        super().__init__(*args)
+        if code is not None:
+            self.code = code
 
 
 class SchemaError(ReproError):
@@ -63,3 +143,41 @@ class ServingError(ReproError):
     reported through exceptions: the service degrades and returns a
     structured response instead (see :mod:`repro.serving.service`).
     """
+
+
+class CorpusIntegrityError(GenerationError):
+    """A corpus file does not match the manifest that describes it."""
+
+    code = E_CORPUS_CORRUPT
+
+
+class ManifestMismatchError(GenerationError):
+    """``--resume`` against a manifest from an incompatible run.
+
+    Raised when the stored run fingerprint (seed, config, schemas,
+    templates, format) differs from the current invocation — resuming
+    would silently splice two different corpora together.
+    """
+
+    code = E_MANIFEST_MISMATCH
+
+
+class FaultInjected(ReproError):
+    """Deliberate failure raised by :mod:`repro.core.faults`.
+
+    Distinct from any organic error class so tests can assert that a
+    quarantined shard failed for exactly the injected reason.
+    """
+
+    code = E_FAULT_INJECTED
+
+
+class GracefulExit(ReproError):
+    """SIGTERM/SIGINT converted to an exception for orderly shutdown.
+
+    The CLI installs a signal handler that raises this; long-running
+    loops catch it, flush their checkpoints, and exit nonzero with a
+    "resumable" message instead of a traceback.
+    """
+
+    code = E_INTERRUPTED

@@ -101,6 +101,19 @@ class PerfRecorder:
             stats.seconds += time.perf_counter() - start
             stats.calls += 1
 
+    def merge(self, other: "PerfRecorder") -> None:
+        """Fold another recorder's totals into this one.
+
+        Used to aggregate stage timings across process lifetimes — e.g.
+        an interrupted synthesis run plus its ``--resume`` continuation
+        report as one logical run.
+        """
+        for name, stats in other.stages.items():
+            mine = self.stages.setdefault(name, StageStats())
+            mine.seconds += stats.seconds
+            mine.calls += stats.calls
+            mine.items += stats.items
+
     def seconds(self, stage: str) -> float:
         return self.stages[stage].seconds if stage in self.stages else 0.0
 

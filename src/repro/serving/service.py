@@ -61,11 +61,24 @@ SOURCE_NONE = "none"
 
 @dataclass(frozen=True)
 class ServiceFailure:
-    """Structured failure descriptor attached to non-ok responses."""
+    """Structured failure descriptor attached to non-ok responses.
+
+    ``code`` is the short wire code (stable API surface);
+    :attr:`error_code` maps it into the package-wide ``E_*`` taxonomy
+    of :data:`repro.errors.ERROR_CODES`, so serving failures and
+    synthesis quarantine reports can be aggregated on one axis.
+    """
 
     code: str  # rate_limited | queue_full | timeout | model_unavailable | untranslatable
     message: str
     retryable: bool = True
+
+    @property
+    def error_code(self) -> str:
+        """Canonical taxonomy code (``E_RATE_LIMITED``, ...)."""
+        from repro.errors import canonical_code
+
+        return canonical_code(self.code)
 
 
 @dataclass
@@ -106,6 +119,7 @@ class ServingResponse:
             if self.failure is None
             else {
                 "code": self.failure.code,
+                "error_code": self.failure.error_code,
                 "message": self.failure.message,
                 "retryable": self.failure.retryable,
             },

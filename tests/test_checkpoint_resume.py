@@ -1,0 +1,383 @@
+"""Checkpointed resume: crash-safety and bit-identical recovery.
+
+The acceptance property: a generation run interrupted at an arbitrary
+point — a shard boundary (Ctrl-C between commits) or mid-shard (the
+writer process SIGKILLed halfway through appending a shard's bytes) —
+must resume to a corpus **byte-identical** to the uninterrupted
+``workers=0`` reference, without re-counting generator misses or
+re-admitting pairs that a completed shard already deduplicated.
+"""
+
+import itertools
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    GenerationConfig,
+    ResilienceConfig,
+    SynthesisEngine,
+    TrainingPipeline,
+    generate_checkpointed,
+    manifest_path_for,
+    save_jsonl,
+)
+from repro.core import faults as F
+from repro.core.checkpoint import (
+    STATUS_COMPLETE,
+    STATUS_INTERRUPTED,
+    STATUS_QUARANTINE,
+    CorpusManifest,
+    run_fingerprint,
+)
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.errors import GracefulExit, ManifestMismatchError
+
+TEMPLATES_N = 8
+SEED = 3
+CONFIG = GenerationConfig(size_slotfills=2)
+
+
+def make_pipeline(patients):
+    from repro.core.seed_templates import SEED_TEMPLATES
+
+    return TrainingPipeline(
+        patients, CONFIG, templates=SEED_TEMPLATES[:TEMPLATES_N], seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_bytes(request, tmp_path_factory):
+    """The uninterrupted ``workers=0`` corpus, via the PR 1 plain path."""
+    patients = request.getfixturevalue("patients")
+    path = tmp_path_factory.mktemp("ref") / "ref.jsonl"
+    pipeline = make_pipeline(patients)
+    save_jsonl(
+        itertools.chain.from_iterable(pipeline.generate_stream(workers=0)),
+        path,
+    )
+    return path.read_bytes()
+
+
+class TestUninterrupted:
+    def test_checkpointed_equals_plain_write(
+        self, patients, tmp_path, reference_bytes
+    ):
+        out = tmp_path / "corpus.jsonl"
+        report = make_pipeline(patients).generate_checkpointed(out)
+        assert report.status == STATUS_COMPLETE
+        assert out.read_bytes() == reference_bytes
+        assert report.manifest_path == tmp_path / "corpus.manifest.json"
+
+    def test_manifest_records_every_shard(self, patients, tmp_path):
+        out = tmp_path / "corpus.jsonl"
+        report = make_pipeline(patients).generate_checkpointed(out)
+        manifest = CorpusManifest.load(report.manifest_path)
+        assert manifest.status == STATUS_COMPLETE
+        assert [r["index"] for r in manifest.shards] == list(range(TEMPLATES_N))
+        assert manifest.pairs_written == report.pairs_written
+        # Per-shard seed provenance: entropy + spawn key.
+        assert manifest.shards[4]["seed"] == {"entropy": SEED, "spawn_key": [4]}
+        # bytes_end is monotonically increasing and ends at file size.
+        ends = [r["bytes_end"] for r in manifest.shards]
+        assert ends == sorted(ends)
+        assert ends[-1] == out.stat().st_size
+
+    def test_resume_of_complete_run_is_a_noop(
+        self, patients, tmp_path, reference_bytes
+    ):
+        out = tmp_path / "corpus.jsonl"
+        make_pipeline(patients).generate_checkpointed(out)
+        report = make_pipeline(patients).generate_checkpointed(out, resume=True)
+        assert report.new_pairs == 0
+        assert report.resumed_shards == TEMPLATES_N
+        assert out.read_bytes() == reference_bytes
+
+
+class TestBoundaryInterrupt:
+    @pytest.mark.parametrize("interrupt_at", [0, 3, TEMPLATES_N - 2])
+    def test_interrupt_then_resume_is_byte_identical(
+        self, patients, tmp_path, reference_bytes, interrupt_at
+    ):
+        out = tmp_path / "corpus.jsonl"
+        plan = FaultPlan((FaultSpec(F.INTERRUPT, shard_index=interrupt_at),))
+        pipeline = make_pipeline(patients)
+        with pytest.raises(GracefulExit):
+            pipeline.generate_checkpointed(out, faults=plan)
+        manifest = CorpusManifest.load(manifest_path_for(out))
+        assert manifest.status == STATUS_INTERRUPTED
+        assert len(manifest.shards) == interrupt_at + 1
+
+        report = make_pipeline(patients).generate_checkpointed(out, resume=True)
+        assert report.status == STATUS_COMPLETE
+        assert report.resumed_shards == interrupt_at + 1
+        assert out.read_bytes() == reference_bytes
+
+    def test_interrupted_manifest_is_flushed_before_raise(
+        self, patients, tmp_path
+    ):
+        out = tmp_path / "corpus.jsonl"
+        plan = FaultPlan((FaultSpec(F.INTERRUPT, shard_index=2),))
+        # Even with an effectively-infinite flush interval the interrupt
+        # path must commit what it has.
+        with pytest.raises(GracefulExit):
+            make_pipeline(patients).generate_checkpointed(
+                out, faults=plan, flush_every=10_000
+            )
+        manifest = CorpusManifest.load(manifest_path_for(out))
+        assert manifest.status == STATUS_INTERRUPTED
+        assert manifest.shards  # progress was not lost
+
+
+_KILL_DRIVER = """
+import sys
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.core import faults as F
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.core.seed_templates import SEED_TEMPLATES
+from repro.schema import patients_schema
+
+out, kill_shard = sys.argv[1], int(sys.argv[2])
+pipeline = TrainingPipeline(
+    patients_schema(),
+    GenerationConfig(size_slotfills=2),
+    templates=SEED_TEMPLATES[:{templates}],
+    seed={seed},
+)
+plan = FaultPlan((FaultSpec(F.PARTIAL_WRITE, shard_index=kill_shard),))
+pipeline.generate_checkpointed(out, faults=plan, flush_every=1)
+raise SystemExit("unreachable: partial-write fault did not fire")
+"""
+
+
+class TestMidShardKill:
+    @pytest.mark.parametrize("kill_shard", [1, 4])
+    def test_sigkill_mid_write_then_resume_is_byte_identical(
+        self, tmp_path, reference_bytes, kill_shard, patients
+    ):
+        """The brutal case: the process dies halfway through a shard's
+        bytes (torn write).  Resume must discard the torn tail via the
+        manifest's cumulative hash and regenerate exactly the missing
+        shards."""
+        out = tmp_path / "corpus.jsonl"
+        driver = _KILL_DRIVER.format(templates=TEMPLATES_N, seed=SEED)
+        proc = subprocess.run(
+            [sys.executable, "-c", driver, str(out), str(kill_shard)],
+            capture_output=True,
+            text=True,
+            env={
+                "PYTHONPATH": str(
+                    Path(__file__).resolve().parent.parent / "src"
+                ),
+                "PATH": "/usr/bin:/bin",
+            },
+            timeout=300,
+        )
+        assert proc.returncode == 1, proc.stderr  # os._exit(1) mid-commit
+        assert out.exists()
+        # The file genuinely holds a torn tail: more bytes than the
+        # last committed shard, fewer than the shard would have added.
+        manifest = CorpusManifest.load(manifest_path_for(out))
+        committed_end = max(
+            (r["bytes_end"] for r in manifest.shards), default=0
+        )
+        assert out.stat().st_size > committed_end
+
+        report = make_pipeline(patients).generate_checkpointed(
+            out, resume=True
+        )
+        assert report.status == STATUS_COMPLETE
+        assert report.resumed_shards == kill_shard
+        assert out.read_bytes() == reference_bytes
+
+
+class TestCorruptionAndMismatch:
+    def test_resume_refuses_foreign_manifest(self, patients, tmp_path):
+        out = tmp_path / "corpus.jsonl"
+        make_pipeline(patients).generate_checkpointed(out)
+        other = TrainingPipeline(patients, CONFIG, seed=SEED + 1)
+        with pytest.raises(ManifestMismatchError):
+            other.generate_checkpointed(out, resume=True)
+
+    def test_fingerprint_covers_the_run_identity(self, patients):
+        from repro.core.seed_templates import SEED_TEMPLATES
+
+        base = SynthesisEngine(
+            patients, CONFIG, templates=SEED_TEMPLATES[:4], seed=1
+        )
+        same = SynthesisEngine(
+            patients, CONFIG, templates=SEED_TEMPLATES[:4], seed=1
+        )
+        other_seed = SynthesisEngine(
+            patients, CONFIG, templates=SEED_TEMPLATES[:4], seed=2
+        )
+        other_cfg = SynthesisEngine(
+            patients,
+            CONFIG.with_overrides(size_slotfills=3),
+            templates=SEED_TEMPLATES[:4],
+            seed=1,
+        )
+        assert run_fingerprint(base.state, "jsonl") == run_fingerprint(
+            same.state, "jsonl"
+        )
+        assert run_fingerprint(base.state, "jsonl") != run_fingerprint(
+            other_seed.state, "jsonl"
+        )
+        assert run_fingerprint(base.state, "jsonl") != run_fingerprint(
+            other_cfg.state, "jsonl"
+        )
+        assert run_fingerprint(base.state, "jsonl") != run_fingerprint(
+            base.state, "tsv"
+        )
+
+    def test_tampered_prefix_is_regenerated(
+        self, patients, tmp_path, reference_bytes
+    ):
+        """A corrupted byte inside a committed shard invalidates that
+        shard and everything after it — resume silently regenerates
+        rather than trusting a file whose hash disagrees."""
+        out = tmp_path / "corpus.jsonl"
+        plan = FaultPlan((FaultSpec(F.INTERRUPT, shard_index=5),))
+        with pytest.raises(GracefulExit):
+            make_pipeline(patients).generate_checkpointed(out, faults=plan)
+        data = bytearray(out.read_bytes())
+        manifest = CorpusManifest.load(manifest_path_for(out))
+        # Flip a byte inside shard 3's span.
+        offset = manifest.shards[2]["bytes_end"]
+        data[offset + 5] ^= 0xFF
+        out.write_bytes(data)
+
+        report = make_pipeline(patients).generate_checkpointed(
+            out, resume=True
+        )
+        assert report.status == STATUS_COMPLETE
+        # Shards 0-2 survived; 3+ regenerated.
+        assert report.resumed_shards == 3
+        assert out.read_bytes() == reference_bytes
+
+    def test_missing_output_regenerates_everything(
+        self, patients, tmp_path, reference_bytes
+    ):
+        out = tmp_path / "corpus.jsonl"
+        make_pipeline(patients).generate_checkpointed(out)
+        out.unlink()
+        report = make_pipeline(patients).generate_checkpointed(
+            out, resume=True
+        )
+        assert report.resumed_shards == 0
+        assert out.read_bytes() == reference_bytes
+
+
+class TestDedupeAndMissStreakUnderResume:
+    """A resumed run must not re-admit pairs a completed shard deduped,
+    and shard-granular resume must not re-count generator misses
+    (``miss_streak_limit`` state never crosses a shard boundary)."""
+
+    def test_no_duplicate_keys_after_resume(self, patients, tmp_path):
+        out = tmp_path / "corpus.jsonl"
+        plan = FaultPlan((FaultSpec(F.INTERRUPT, shard_index=3),))
+        with pytest.raises(GracefulExit):
+            make_pipeline(patients).generate_checkpointed(out, faults=plan)
+        make_pipeline(patients).generate_checkpointed(out, resume=True)
+        keys = [
+            (r["nl"], r["sql"])
+            for r in map(json.loads, out.read_text().splitlines())
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_resume_matches_streamed_dedupe_exactly(
+        self, patients, tmp_path, reference_bytes
+    ):
+        # The reference stream threads ONE seen-set through all shards;
+        # equality proves the resumed run reconstructed that set
+        # correctly from the file prefix instead of starting empty.
+        out = tmp_path / "corpus.jsonl"
+        plan = FaultPlan((FaultSpec(F.INTERRUPT, shard_index=2),))
+        with pytest.raises(GracefulExit):
+            make_pipeline(patients).generate_checkpointed(out, faults=plan)
+        make_pipeline(patients).generate_checkpointed(out, resume=True)
+        assert out.read_bytes() == reference_bytes
+
+    def test_miss_streak_isolated_per_shard_under_resume(self, tmp_path):
+        """A schema/template combination that fast-fails via
+        ``miss_streak_limit`` yields an empty shard; interrupting after
+        it and resuming must not change that verdict (no re-counting
+        against a different streak budget)."""
+        from repro.core.seed_templates import SEED_TEMPLATES
+        from repro.schema import load_schema
+
+        # geography is single-table-heavy: join templates fast-fail.
+        geography = load_schema("geography")
+        config = GenerationConfig(size_slotfills=2, miss_streak_limit=2)
+        templates = SEED_TEMPLATES[:TEMPLATES_N]
+
+        def build():
+            return TrainingPipeline(
+                geography, config, templates=templates, seed=7
+            )
+
+        ref = tmp_path / "ref.jsonl"
+        save_jsonl(
+            itertools.chain.from_iterable(build().generate_stream(workers=0)),
+            ref,
+        )
+        out = tmp_path / "resumed.jsonl"
+        plan = FaultPlan((FaultSpec(F.INTERRUPT, shard_index=4),))
+        with pytest.raises(GracefulExit):
+            build().generate_checkpointed(out, faults=plan)
+        build().generate_checkpointed(out, resume=True)
+        assert out.read_bytes() == ref.read_bytes()
+
+
+class TestQuarantineInManifest:
+    def test_quarantine_recorded_and_sticky_on_resume(
+        self, patients, tmp_path
+    ):
+        out = tmp_path / "corpus.jsonl"
+        poison = FaultPlan((FaultSpec(F.CRASH, shard_index=2, attempts=99),))
+        resilience = ResilienceConfig(max_attempts=2, backoff_base=0.01)
+        report = make_pipeline(patients).generate_checkpointed(
+            out, faults=poison, resilience=resilience
+        )
+        assert report.status == STATUS_QUARANTINE
+        assert not report.ok
+        manifest = CorpusManifest.load(report.manifest_path)
+        assert manifest.status == STATUS_QUARANTINE
+        [failed] = manifest.failed_shards
+        assert failed["shard_index"] == 2
+        assert failed["code"] == "E_SHARD_CRASH"
+        assert failed["schema"] == "patients"
+        assert failed["seed"] == {"entropy": SEED, "spawn_key": [2]}
+
+        # Resuming (without the fault) must NOT retry the quarantined
+        # shard: later shards are already committed, so appending shard
+        # 2 now would break canonical order.
+        resumed = make_pipeline(patients).generate_checkpointed(
+            out, resume=True
+        )
+        assert resumed.status == STATUS_QUARANTINE
+        assert resumed.new_pairs == 0
+        assert [f.shard_index for f in resumed.quarantined] == [2]
+
+    def test_trailing_quarantine_is_retried_on_resume(
+        self, patients, tmp_path, reference_bytes
+    ):
+        """If the quarantined shard is *after* every committed shard,
+        retrying it on resume is order-safe — and a resume without the
+        fault plan must heal the corpus completely."""
+        out = tmp_path / "corpus.jsonl"
+        last = TEMPLATES_N - 1
+        poison = FaultPlan((FaultSpec(F.CRASH, shard_index=last, attempts=99),))
+        resilience = ResilienceConfig(max_attempts=2, backoff_base=0.01)
+        report = make_pipeline(patients).generate_checkpointed(
+            out, faults=poison, resilience=resilience
+        )
+        assert report.status == STATUS_QUARANTINE
+        healed = make_pipeline(patients).generate_checkpointed(
+            out, resume=True
+        )
+        assert healed.status == STATUS_COMPLETE
+        assert out.read_bytes() == reference_bytes

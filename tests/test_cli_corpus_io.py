@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_ERROR, EXIT_OK, main
 from repro.core.corpus_io import load_jsonl, load_tsv, save_jsonl, save_tsv
 from repro.errors import GenerationError
 
@@ -47,6 +47,44 @@ class TestCorpusIO:
         assert len(load_jsonl(path)) == len(patients_corpus)
 
 
+class TestAtomicWrites:
+    """``save_jsonl``/``save_tsv`` publish via tmp-file + rename: a
+    failure mid-write must never clobber an existing file or leave a
+    half-written one (or tmp litter) behind."""
+
+    @pytest.mark.parametrize("saver", [save_jsonl, save_tsv])
+    def test_failure_mid_stream_preserves_previous_file(
+        self, patients_corpus, tmp_path, saver
+    ):
+        path = tmp_path / "corpus.out"
+        saver(patients_corpus, path)
+        before = path.read_bytes()
+
+        def poisoned():
+            yield patients_corpus.pairs[0]
+            raise RuntimeError("producer died mid-stream")
+
+        with pytest.raises(RuntimeError):
+            saver(poisoned(), path)
+        assert path.read_bytes() == before
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_failure_on_fresh_path_leaves_nothing(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+
+        def poisoned():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError):
+            save_jsonl(poisoned(), path)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_returns_pair_count(self, patients_corpus, tmp_path):
+        written = save_jsonl(patients_corpus, tmp_path / "c.jsonl")
+        assert written == len(patients_corpus)
+
+
 class TestCli:
     def test_schemas_command(self, capsys):
         assert main(["schemas"]) == 0
@@ -85,6 +123,68 @@ class TestCli:
             ]
         ) == 0
         assert "\t" in path.read_text().splitlines()[0]
+
+    def test_generate_writes_manifest(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        assert main(
+            [
+                "generate",
+                "patients",
+                "--output",
+                str(path),
+                "--size-slotfills",
+                "2",
+            ]
+        ) == EXIT_OK
+        manifest = tmp_path / "out.manifest.json"
+        assert manifest.exists()
+        import json
+
+        record = json.loads(manifest.read_text())
+        assert record["status"] == "complete"
+        assert record["shards"]
+
+    def test_generate_resume_is_noop_and_identical(self, tmp_path, capsys):
+        path = tmp_path / "out.jsonl"
+        argv = [
+            "generate",
+            "patients",
+            "--output",
+            str(path),
+            "--size-slotfills",
+            "2",
+        ]
+        assert main(argv) == EXIT_OK
+        first = path.read_bytes()
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+        assert "wrote 0 pairs" in out
+        assert path.read_bytes() == first
+
+    def test_no_checkpoint_skips_manifest_same_bytes(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        plain = tmp_path / "plain.jsonl"
+        base = ["generate", "patients", "--size-slotfills", "2"]
+        assert main(base + ["--output", str(ckpt)]) == EXIT_OK
+        assert main(base + ["--output", str(plain), "--no-checkpoint"]) == EXIT_OK
+        assert not (tmp_path / "plain.manifest.json").exists()
+        assert plain.read_bytes() == ckpt.read_bytes()
+
+    def test_resume_without_checkpointing_is_an_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "patients",
+                "--output",
+                str(tmp_path / "x.jsonl"),
+                "--no-checkpoint",
+                "--resume",
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "--resume requires checkpointing" in capsys.readouterr().err
 
     def test_unknown_schema_fails_cleanly(self, tmp_path, capsys):
         code = main(

@@ -1,0 +1,76 @@
+"""Tests for the fault-injection harness (matching and determinism)."""
+
+import pytest
+
+from repro.core import faults as F
+from repro.core.faults import NO_FAULTS, FaultPlan, FaultSpec
+from repro.errors import E_FAULT_INJECTED, FaultInjected
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec("explode")
+
+    def test_rejects_nonpositive_attempts(self):
+        with pytest.raises(ValueError):
+            FaultSpec(F.CRASH, attempts=0)
+
+    def test_wildcard_selectors_match_everything(self):
+        spec = FaultSpec(F.CRASH)
+        assert spec.matches(0, "patients", "t0", attempt=0)
+        assert spec.matches(17, "geography", "t9", attempt=0)
+
+    def test_attempt_window(self):
+        spec = FaultSpec(F.CRASH, shard_index=3, attempts=2)
+        assert spec.matches(3, "s", "t", attempt=0)
+        assert spec.matches(3, "s", "t", attempt=1)
+        assert not spec.matches(3, "s", "t", attempt=2)
+
+    def test_selector_mismatch(self):
+        spec = FaultSpec(F.CRASH, schema_name="patients", template_id="t1")
+        assert spec.matches(5, "patients", "t1", attempt=0)
+        assert not spec.matches(5, "geography", "t1", attempt=0)
+        assert not spec.matches(5, "patients", "t2", attempt=0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not NO_FAULTS
+        assert NO_FAULTS.find(F.SHARD_KINDS, 0, "s", "t", 0) is None
+
+    def test_find_filters_by_kind_family(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(F.PARTIAL_WRITE, shard_index=1),
+                FaultSpec(F.CRASH, shard_index=1),
+            )
+        )
+        found = plan.find(F.SHARD_KINDS, 1, "s", "t", 0)
+        assert found is not None and found.kind == F.CRASH
+        found = plan.find(F.WRITER_KINDS, 1, "s", "t", 0)
+        assert found is not None and found.kind == F.PARTIAL_WRITE
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = FaultPlan((FaultSpec(F.HANG, shard_index=2, hang_seconds=1.0),))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+
+class TestFire:
+    def test_crash_raises_fault_injected(self):
+        with pytest.raises(FaultInjected) as excinfo:
+            F.fire_shard_fault(FaultSpec(F.CRASH), shard_index=7)
+        assert excinfo.value.code == E_FAULT_INJECTED
+        assert "shard 7" in str(excinfo.value)
+
+    def test_hang_returns_after_duration(self):
+        import time
+
+        start = time.monotonic()
+        F.fire_shard_fault(
+            FaultSpec(F.HANG, hang_seconds=0.05), shard_index=0
+        )
+        assert time.monotonic() - start >= 0.05

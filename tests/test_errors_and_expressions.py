@@ -27,6 +27,65 @@ class TestErrorHierarchy:
             raise errors.SqlParseError("x")
 
 
+class TestErrorTaxonomy:
+    """The stable ``E_*`` code table shared by quarantine reports,
+    manifests, and serving responses."""
+
+    def test_every_constant_is_registered(self):
+        constants = {
+            getattr(errors, name)
+            for name in dir(errors)
+            if name.startswith("E_")
+        }
+        assert constants == set(errors.ERROR_CODES)
+        # Codes are their own names — stable, grep-able identifiers.
+        for name in dir(errors):
+            if name.startswith("E_"):
+                assert getattr(errors, name) == name
+
+    def test_canonical_code_maps_wire_codes(self):
+        assert errors.canonical_code("queue_full") == errors.E_QUEUE_FULL
+        assert errors.canonical_code("rate_limited") == errors.E_RATE_LIMITED
+        assert errors.canonical_code("timeout") == errors.E_TIMEOUT
+        # Canonical codes are fixed points.
+        assert (
+            errors.canonical_code(errors.E_SHARD_TIMEOUT)
+            == errors.E_SHARD_TIMEOUT
+        )
+
+    def test_unknown_codes_pass_through(self):
+        assert errors.canonical_code("E_FROM_THE_FUTURE") == "E_FROM_THE_FUTURE"
+
+    def test_exceptions_carry_class_level_codes(self):
+        assert errors.CorpusIntegrityError("x").code == errors.E_CORPUS_CORRUPT
+        assert (
+            errors.ManifestMismatchError("x").code
+            == errors.E_MANIFEST_MISMATCH
+        )
+        assert errors.FaultInjected("x").code == errors.E_FAULT_INJECTED
+        assert errors.GracefulExit("x").code == errors.E_INTERRUPTED
+        # Plain errors have no code; instances may override.
+        assert errors.GenerationError("x").code is None
+        assert (
+            errors.GenerationError("x", code=errors.E_SHARD_CRASH).code
+            == errors.E_SHARD_CRASH
+        )
+
+    def test_service_failure_exposes_canonical_code(self):
+        from repro.serving.service import ServiceFailure, ServingResponse
+
+        failure = ServiceFailure(code="queue_full", message="full")
+        assert failure.error_code == errors.E_QUEUE_FULL
+        response = ServingResponse(
+            request_id=1,
+            nl="q",
+            status="rejected",
+            source="admission",
+            failure=failure,
+        )
+        assert response.to_dict()["failure"]["error_code"] == errors.E_QUEUE_FULL
+
+
 class TestCompare:
     def test_numeric(self):
         assert compare(CompOp.LT, 1, 2)

@@ -1,0 +1,50 @@
+"""Tier-1 smoke run of the fault-tolerance benchmark.
+
+``benchmarks/run_faults.py`` is executed end-to-end in miniature
+(``--smoke`` shrinks the workload to one schema and eight templates) so
+the benchmark cannot rot out from under the crash-safety layer: it
+exercises the plain, checkpointed, recovery, and quarantine arms —
+each with built-in byte-identity assertions — and must emit a
+well-formed record.  The ≤5% overhead claim itself is judged on the
+``full`` profile (``BENCH_faults.json``), not here.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def test_smoke_run_writes_valid_record(tmp_path):
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from run_faults import main
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+    output = tmp_path / "BENCH_faults.json"
+    exit_code = main(["--smoke", "--output", str(output)])
+    assert exit_code == 0
+
+    record = json.loads(output.read_text(encoding="utf-8"))
+    assert record["benchmark"] == "fault_tolerance"
+    assert record["profile"] == "smoke"
+    modes = record["modes"]
+    assert set(modes) == {"plain", "checkpointed", "recovery", "quarantine"}
+    assert modes["plain"]["pairs"] == modes["checkpointed"]["pairs"]
+    assert modes["checkpointed"]["status"] == "complete"
+    # Recovery arm resumed past the injected interrupt and re-verified
+    # byte identity inside the benchmark itself.
+    recovery = modes["recovery"]
+    assert recovery["byte_identical"] is True
+    assert recovery["resumed_shards_skipped"] == recovery["interrupted_after_shards"]
+    # Quarantine arm survived the poisoned shard and named the triple.
+    quarantine = modes["quarantine"]
+    assert quarantine["run_survived"] is True
+    [failure] = quarantine["quarantined"]
+    assert failure["code"] == "E_SHARD_CRASH"
+    assert failure["schema"] and failure["template_id"]
+    assert set(failure["seed"]) == {"entropy", "spawn_key"}
+    assert "checkpoint_overhead_pct" in record
+    assert record["overhead_target_pct"] == 5.0

@@ -1,0 +1,178 @@
+"""Fault isolation in the synthesis engine: retry, re-dispatch, quarantine.
+
+The contract under test: a misbehaving shard — crash, hang, or the
+death of the worker process running it — never aborts the run and never
+changes the corpus.  Transient faults are retried (with identical RNG
+streams, so the merged output is bit-identical to a fault-free run);
+persistent faults are quarantined with a report naming the offending
+(schema, template, seed) triple.
+"""
+
+import pytest
+
+from repro.core import (
+    GenerationConfig,
+    ResilienceConfig,
+    SynthesisEngine,
+)
+from repro.core import faults as F
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.core.parallel import OUTCOME_OK, OUTCOME_QUARANTINED
+from repro.core.seed_templates import SEED_TEMPLATES
+from repro.errors import (
+    E_SHARD_CRASH,
+    E_SHARD_TIMEOUT,
+    E_WORKER_DIED,
+    GenerationError,
+)
+
+#: Small but multi-shard engine: 6 (schema, template) shards.
+TEMPLATES = SEED_TEMPLATES[:6]
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    patients = request.getfixturevalue("patients")
+    return SynthesisEngine(
+        patients,
+        GenerationConfig(size_slotfills=2),
+        templates=TEMPLATES,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(engine):
+    """Fault-free inline outcomes (the determinism yardstick)."""
+    return [
+        (o.shard_index, [p.key() for p in o.pairs])
+        for o in engine.iter_outcomes(workers=0)
+    ]
+
+
+def fingerprints(outcomes):
+    return [(o.shard_index, [p.key() for p in o.pairs]) for o in outcomes]
+
+
+FAST_RETRY = ResilienceConfig(backoff_base=0.01, backoff_cap=0.05)
+
+
+class TestInline:
+    def test_all_ok_without_faults(self, engine, reference):
+        outcomes = list(engine.iter_outcomes(workers=0))
+        assert all(o.ok for o in outcomes)
+        assert fingerprints(outcomes) == reference
+
+    def test_transient_crash_retried_bit_identical(self, engine, reference):
+        plan = FaultPlan((FaultSpec(F.CRASH, shard_index=2, attempts=1),))
+        outcomes = list(
+            engine.iter_outcomes(workers=0, faults=plan, resilience=FAST_RETRY)
+        )
+        assert [o.status for o in outcomes] == [OUTCOME_OK] * len(outcomes)
+        assert outcomes[2].attempts == 2  # one failure + one success
+        assert fingerprints(outcomes) == reference
+
+    def test_persistent_crash_quarantined_not_fatal(self, engine, reference):
+        plan = FaultPlan((FaultSpec(F.CRASH, shard_index=1, attempts=99),))
+        resilience = ResilienceConfig(max_attempts=2, backoff_base=0.01)
+        outcomes = list(
+            engine.iter_outcomes(workers=0, faults=plan, resilience=resilience)
+        )
+        statuses = [o.status for o in outcomes]
+        assert statuses.count(OUTCOME_QUARANTINED) == 1
+        assert statuses[1] == OUTCOME_QUARANTINED
+        # Every other shard still matches the reference.
+        others = [f for f in fingerprints(outcomes) if f[0] != 1]
+        assert others == [f for f in reference if f[0] != 1]
+
+    def test_quarantine_report_names_the_triple(self, engine):
+        plan = FaultPlan((FaultSpec(F.CRASH, shard_index=4, attempts=99),))
+        resilience = ResilienceConfig(max_attempts=2, backoff_base=0.01)
+        outcomes = list(
+            engine.iter_outcomes(workers=0, faults=plan, resilience=resilience)
+        )
+        failure = outcomes[4].failure
+        schema, template = engine.state.shard_coords(4)
+        assert failure is not None
+        assert failure.code == E_SHARD_CRASH
+        assert failure.schema_name == schema.name
+        assert failure.template_id == template.tid
+        assert failure.seed_entropy == engine.state.seed
+        assert failure.seed_spawn_key == (4,)
+        assert failure.attempts == 2
+        assert "injected crash" in failure.message
+        # The report is JSON-ready for the manifest / CLI.
+        record = failure.to_dict()
+        assert record["seed"] == {"entropy": 3, "spawn_key": [4]}
+
+    def test_skip_set_respected(self, engine, reference):
+        outcomes = list(engine.iter_outcomes(workers=0, skip={0, 3}))
+        assert [o.shard_index for o in outcomes] == [1, 2, 4, 5]
+        assert fingerprints(outcomes) == [
+            f for f in reference if f[0] not in {0, 3}
+        ]
+
+
+class TestSupervisedPool:
+    def test_pool_matches_inline(self, engine, reference):
+        outcomes = list(engine.iter_outcomes(workers=2))
+        assert fingerprints(outcomes) == reference
+
+    def test_worker_sigkill_redispatches_shard(self, engine, reference):
+        # The worker running shard 1 SIGKILLs itself on the first
+        # attempt; the supervisor must detect the death, replace the
+        # worker, and re-dispatch — with a bit-identical result.
+        plan = FaultPlan((FaultSpec(F.KILL, shard_index=1, attempts=1),))
+        outcomes = list(
+            engine.iter_outcomes(workers=2, faults=plan, resilience=FAST_RETRY)
+        )
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].attempts == 2
+        assert fingerprints(outcomes) == reference
+
+    def test_hung_shard_times_out_and_quarantines(self, engine, reference):
+        plan = FaultPlan(
+            (FaultSpec(F.HANG, shard_index=0, attempts=99, hang_seconds=30),)
+        )
+        resilience = ResilienceConfig(
+            shard_timeout=0.5, max_attempts=2, backoff_base=0.01
+        )
+        outcomes = list(
+            engine.iter_outcomes(workers=1, faults=plan, resilience=resilience)
+        )
+        assert outcomes[0].status == OUTCOME_QUARANTINED
+        assert outcomes[0].failure.code == E_SHARD_TIMEOUT
+        # The poisoned shard never blocked the rest of the run.
+        assert [o.status for o in outcomes[1:]] == [OUTCOME_OK] * 5
+        assert fingerprints(outcomes)[1:] == reference[1:]
+
+    def test_persistent_kill_quarantined_as_worker_death(self, engine):
+        plan = FaultPlan((FaultSpec(F.KILL, shard_index=2, attempts=99),))
+        resilience = ResilienceConfig(max_attempts=2, backoff_base=0.01)
+        outcomes = list(
+            engine.iter_outcomes(workers=1, faults=plan, resilience=resilience)
+        )
+        assert outcomes[2].status == OUTCOME_QUARANTINED
+        assert outcomes[2].failure.code == E_WORKER_DIED
+        assert sum(o.ok for o in outcomes) == 5
+
+    def test_outcomes_arrive_in_shard_order(self, engine):
+        order = [o.shard_index for o in engine.iter_outcomes(workers=2)]
+        assert order == sorted(order)
+
+
+class TestResilienceConfig:
+    def test_backoff_growth_and_cap(self):
+        config = ResilienceConfig(backoff_base=0.1, backoff_cap=0.3)
+        assert config.backoff_delay(0) == 0.0
+        assert config.backoff_delay(1) == pytest.approx(0.1)
+        assert config.backoff_delay(2) == pytest.approx(0.2)
+        assert config.backoff_delay(5) == pytest.approx(0.3)  # capped
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            ResilienceConfig(shard_timeout=-1)
+        with pytest.raises(GenerationError):
+            ResilienceConfig(max_attempts=0)
+        with pytest.raises(GenerationError):
+            ResilienceConfig(backoff_base=-0.1)
