@@ -1,0 +1,180 @@
+"""Pass 3: audit a generated corpus file (JSONL or TSV), streaming.
+
+Re-validates what the synthesis pipeline promises: every pair's SQL
+parses, passes semantic analysis against its schema, and every SQL-side
+constant placeholder is restorable from the NL side (the runtime's
+parameter handler substitutes user constants back into model output,
+§4.2 — a placeholder the NL never mentions can never be restored).
+
+The auditor reads one line at a time, so corpora far larger than
+memory can be checked; diagnostics carry ``path:line`` locations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic, Severity, make
+from repro.analysis.sql_semantics import analyze_query
+from repro.analysis.template_lint import placeholder_mismatch
+from repro.errors import SqlError
+from repro.schema.schema import Schema
+from repro.sql.parser import parse
+
+#: Findings stop accumulating past this many lines with problems, so a
+#: systematically broken corpus reports a bounded sample, not millions
+#: of repeats of the same defect.
+MAX_DIAGNOSTICS = 500
+
+
+def audit_corpus(
+    path: str | Path,
+    schemas: dict[str, Schema] | None = None,
+    default_schema: Schema | None = None,
+    fmt: str | None = None,
+    max_diagnostics: int = MAX_DIAGNOSTICS,
+) -> list[Diagnostic]:
+    """Audit the corpus file at ``path``.
+
+    ``schemas`` maps schema names (the ``schema`` field of JSONL
+    records) to :class:`Schema` objects; unlisted names fall back to
+    the built-in catalog, then to ``default_schema``.  TSV rows carry
+    no schema name, so TSV audits require ``default_schema``.  ``fmt``
+    overrides the extension-based format detection (``jsonl``/``tsv``).
+    """
+    path = Path(path)
+    if fmt is None:
+        fmt = "tsv" if path.suffix.lower() == ".tsv" else "jsonl"
+    if fmt not in ("jsonl", "tsv"):
+        raise ValueError(f"unknown corpus format {fmt!r}")
+    schemas = dict(schemas or {})
+    unknown_schemas: set[str] = set()
+    diagnostics: list[Diagnostic] = []
+    seen_pairs: set[tuple[str, str]] = set()
+
+    def resolve_schema(name: str, location: str) -> Schema | None:
+        if name in schemas:
+            return schemas[name]
+        from repro.schema.catalog import SCHEMA_FACTORIES
+
+        if name in SCHEMA_FACTORIES:
+            schemas[name] = SCHEMA_FACTORIES[name]()
+            return schemas[name]
+        if default_schema is not None:
+            return default_schema
+        if name not in unknown_schemas:
+            unknown_schemas.add(name)
+            diagnostics.append(
+                make(
+                    "L303",
+                    f"unknown schema {name!r}; semantic analysis skipped "
+                    f"for its pairs",
+                    location=location,
+                    severity=Severity.WARNING,
+                )
+            )
+        return None
+
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if len(diagnostics) >= max_diagnostics:
+                diagnostics.append(
+                    make(
+                        "L303",
+                        f"audit stopped at line {line_number}: "
+                        f"{max_diagnostics} findings reached",
+                        location=str(path),
+                        severity=Severity.WARNING,
+                    )
+                )
+                break
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            location = f"{path}:{line_number}"
+            if fmt == "jsonl":
+                try:
+                    record = json.loads(line)
+                    nl = record["nl"]
+                    sql_text = record["sql"]
+                    schema_name = record.get("schema", "")
+                except (KeyError, ValueError, TypeError) as exc:
+                    diagnostics.append(
+                        make("L303", f"invalid JSONL record: {exc}", location=location)
+                    )
+                    continue
+            else:
+                columns = line.split("\t")
+                if len(columns) != 2:
+                    diagnostics.append(
+                        make(
+                            "L303",
+                            f"expected 2 tab-separated columns, "
+                            f"found {len(columns)}",
+                            location=location,
+                        )
+                    )
+                    continue
+                nl, sql_text = columns
+                schema_name = ""
+
+            try:
+                query = parse(sql_text)
+            except SqlError as exc:
+                diagnostics.append(
+                    make(
+                        "L301",
+                        f"SQL does not parse: {exc}",
+                        location=location,
+                        hint="the generator should never emit unparseable "
+                        "SQL; suspect file corruption or a foreign tool",
+                    )
+                )
+                continue
+
+            key = (nl, sql_text)
+            if key in seen_pairs:
+                diagnostics.append(
+                    make(
+                        "L304",
+                        f"duplicate pair (first seen earlier): {nl!r}",
+                        location=location,
+                    )
+                )
+            seen_pairs.add(key)
+
+            sql_names = [p.name for p in query.placeholders()]
+            sql_only, nl_only = placeholder_mismatch(nl, sql_names)
+            if sql_only:
+                diagnostics.append(
+                    make(
+                        "L302",
+                        f"SQL placeholders {sorted(set(sql_only))} never "
+                        f"appear in the NL {nl!r}",
+                        location=location,
+                        hint="the runtime cannot restore a constant the "
+                        "question never mentions",
+                    )
+                )
+            if nl_only:
+                diagnostics.append(
+                    make(
+                        "L302",
+                        f"NL placeholders {sorted(set(nl_only))} have no "
+                        f"SQL counterpart",
+                        location=location,
+                        severity=Severity.WARNING,
+                    )
+                )
+
+            schema = (
+                resolve_schema(schema_name, location)
+                if schema_name
+                else default_schema
+            )
+            if schema is not None:
+                diagnostics.extend(
+                    analyze_query(query, schema, location=location)
+                )
+    return diagnostics

@@ -1,0 +1,309 @@
+"""Pass 2: lint the seed-template library against a set of schemas.
+
+For every (SQL kind × schema) pair the linter *probes* the kind's
+builder a fixed number of times with a private, deterministic RNG
+(derived from the schema and kind names, never from generation seeds —
+linting must not perturb corpus synthesis).  The collected
+:class:`~repro.core.templates.SlotFill` samples drive four checks:
+
+* **slot agreement** (``L201``) — every ``{slot}`` in an NL pattern is
+  supplied by the builder, for every sampled fill;
+* **placeholder agreement** (``L202``) — the constant placeholders in
+  the rendered NL match the SQL side's, so the runtime can restore
+  anonymized constants (§4.2);
+* **dead templates** (``L203``/``L204``) — kinds whose builder never
+  succeeds on a schema (or on any schema) are flagged; these are
+  warnings because some kinds are legitimately dead on some schemas
+  (join templates on a single-table schema);
+* **semantic validity** — every sampled query runs through the
+  ``L1xx`` SQL semantic analyzer.
+
+Independently of probing, duplicate NL pattern signatures are flagged
+(``L205``; an error within one SQL kind, a warning across kinds, where
+the shared surface form is an intentional hard training case) and
+templates naming an unregistered SQL kind are rejected (``L206``).
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity, make
+from repro.analysis.sql_semantics import analyze_query
+from repro.core.config import GenerationConfig
+from repro.core.seed_templates import KIND_REGISTRY, SEED_TEMPLATES
+from repro.core.templates import SeedTemplate, SlotFill, render
+from repro.errors import TemplateError
+from repro.schema.schema import Schema
+
+#: Builder invocations per (kind, schema); comfortably above the
+#: generator's miss-streak limit so stochastic misses cannot masquerade
+#: as dead templates.
+PROBES_PER_KIND = 24
+
+#: Cap on fills retained for the per-pattern checks.
+_MAX_FILLS = 8
+
+_SLOT_RE = re.compile(r"\{(\w+)\}")
+_NL_PLACEHOLDER_RE = re.compile(r"@([A-Za-z0-9_.]+)")
+
+_BOUND_SUFFIXES = ("low", "high")
+
+
+def probe_builder(
+    kind: str,
+    schema: Schema,
+    config: GenerationConfig | None = None,
+    probes: int = PROBES_PER_KIND,
+) -> list[SlotFill]:
+    """Sample up to ``_MAX_FILLS`` slot fills from one kind's builder.
+
+    The RNG seed depends only on the kind and schema names, so probing
+    is deterministic and independent of any generation seed.
+    """
+    config = config or GenerationConfig()
+    builder = KIND_REGISTRY[kind][1]
+    rng = np.random.default_rng(
+        [zlib.crc32(kind.encode()), zlib.crc32(schema.name.encode())]
+    )
+    fills: list[SlotFill] = []
+    for _ in range(probes):
+        fill = builder(schema, rng, config)
+        if fill is not None:
+            fills.append(fill)
+            if len(fills) >= _MAX_FILLS:
+                break
+    return fills
+
+
+def _normalize_placeholder(name: str) -> str:
+    """Collapse a placeholder name to its runtime-restoration identity.
+
+    The SQL side may qualify a constant with its table (``@T.COL``)
+    while the NL side never does (``@COL``); both restore the same
+    constant.  BETWEEN bounds (``@COL.LOW``) keep their suffix — the
+    bound identity matters for restoration.
+    """
+    lowered = name.lower()
+    if "." in lowered:
+        _first, last = lowered.rsplit(".", 1)
+        if last in _BOUND_SUFFIXES:
+            return lowered
+        return last
+    return lowered
+
+
+def placeholder_mismatch(
+    nl: str, sql_placeholder_names: Iterable[str]
+) -> tuple[list[str], list[str]]:
+    """(SQL-only, NL-only) placeholder identities between the two sides."""
+    nl_counts: dict[str, int] = {}
+    for match in _NL_PLACEHOLDER_RE.finditer(nl):
+        key = _normalize_placeholder(match.group(1).rstrip("."))
+        nl_counts[key] = nl_counts.get(key, 0) + 1
+    sql_only: list[str] = []
+    for name in sql_placeholder_names:
+        key = _normalize_placeholder(name)
+        if nl_counts.get(key, 0) > 0:
+            nl_counts[key] -= 1
+        else:
+            sql_only.append(key)
+    nl_only = [key for key, count in nl_counts.items() for _ in range(count)]
+    return sql_only, nl_only
+
+
+def lint_templates(
+    schemas: Sequence[Schema],
+    templates: Sequence[SeedTemplate] = SEED_TEMPLATES,
+    config: GenerationConfig | None = None,
+    probes: int = PROBES_PER_KIND,
+) -> list[Diagnostic]:
+    """Lint every template against every schema."""
+    diagnostics: list[Diagnostic] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    def emit(diag: Diagnostic) -> None:
+        key = (diag.code, diag.location, diag.message)
+        if key not in seen:
+            seen.add(key)
+            diagnostics.append(diag)
+
+    by_kind: dict[str, list[SeedTemplate]] = {}
+    for template in templates:
+        by_kind.setdefault(template.sql_kind, []).append(template)
+
+    known_kinds = [k for k in by_kind if k in KIND_REGISTRY]
+    for template in templates:
+        if template.sql_kind not in KIND_REGISTRY:
+            emit(
+                make(
+                    "L206",
+                    f"template {template.tid!r} names unknown SQL kind "
+                    f"{template.sql_kind!r}",
+                    location=template.tid,
+                    hint=f"registered kinds: {', '.join(sorted(KIND_REGISTRY))}",
+                )
+            )
+
+    # Probe each kind once per schema; reuse the fills for every pattern.
+    fills_by_kind_schema: dict[tuple[str, str], list[SlotFill]] = {}
+    for kind in known_kinds:
+        alive_anywhere = False
+        for schema in schemas:
+            fills = probe_builder(kind, schema, config=config, probes=probes)
+            fills_by_kind_schema[(kind, schema.name)] = fills
+            if fills:
+                alive_anywhere = True
+            else:
+                for template in by_kind[kind]:
+                    emit(
+                        make(
+                            "L203",
+                            f"template {template.tid!r} has no valid "
+                            f"instantiation on schema {schema.name!r}",
+                            location=f"{schema.name}:{template.tid}",
+                            hint="expected for kinds whose structural "
+                            "requirements (joins, numeric columns) the "
+                            "schema cannot meet",
+                        )
+                    )
+        if not alive_anywhere and schemas:
+            for template in by_kind[kind]:
+                emit(
+                    make(
+                        "L204",
+                        f"template {template.tid!r} has no valid "
+                        f"instantiation on any of the "
+                        f"{len(schemas)} provided schema(s)",
+                        location=template.tid,
+                        hint="the template can never contribute training "
+                        "pairs; fix its builder or drop it",
+                    )
+                )
+
+    # Per-pattern checks against the sampled fills.
+    for template in templates:
+        if template.sql_kind not in KIND_REGISTRY:
+            continue
+        wanted_slots = set(_SLOT_RE.findall(template.nl_pattern))
+        for schema in schemas:
+            fills = fills_by_kind_schema[(template.sql_kind, schema.name)]
+            location = f"{schema.name}:{template.tid}"
+            for fill in fills:
+                missing = wanted_slots - set(fill.slots)
+                if missing:
+                    emit(
+                        make(
+                            "L201",
+                            f"NL pattern needs slot(s) "
+                            f"{', '.join(sorted(missing))} which the "
+                            f"{template.sql_kind!r} builder does not supply",
+                            location=location,
+                            hint=f"builder supplies: "
+                            f"{', '.join(sorted(fill.slots))}",
+                        )
+                    )
+                    continue
+                try:
+                    nl = render(template.nl_pattern, fill.slots)
+                except TemplateError as exc:
+                    emit(make("L201", str(exc), location=location))
+                    continue
+                sql_names = [p.name for p in fill.query.placeholders()]
+                sql_only, nl_only = placeholder_mismatch(nl, sql_names)
+                if sql_only:
+                    emit(
+                        make(
+                            "L202",
+                            f"SQL placeholders {sorted(set(sql_only))} never "
+                            f"appear in the rendered NL {nl!r}",
+                            location=location,
+                            hint="the runtime cannot restore a constant "
+                            "the user never mentioned",
+                        )
+                    )
+                if nl_only:
+                    emit(
+                        make(
+                            "L202",
+                            f"NL placeholders {sorted(set(nl_only))} have no "
+                            f"SQL counterpart in the rendered pair",
+                            location=location,
+                            severity=Severity.WARNING,
+                        )
+                    )
+
+    # Semantic analysis of sampled queries, once per (kind, schema).
+    for (kind, schema_name), fills in fills_by_kind_schema.items():
+        schema = next(s for s in schemas if s.name == schema_name)
+        for fill in fills:
+            for diag in analyze_query(
+                fill.query, schema, location=f"{schema_name}:{kind}"
+            ):
+                emit(diag)
+
+    # Duplicate NL pattern signatures.
+    signatures: dict[str, list[SeedTemplate]] = {}
+    for template in templates:
+        signature = re.sub(r"\s+", " ", template.nl_pattern).strip().lower()
+        signatures.setdefault(signature, []).append(template)
+    for signature, owners in signatures.items():
+        if len(owners) < 2:
+            continue
+        tids = ", ".join(t.tid for t in owners)
+        same_kind = len({t.sql_kind for t in owners}) == 1
+        emit(
+            make(
+                "L205",
+                f"NL pattern {signature!r} is shared by templates {tids}",
+                location=owners[0].tid,
+                severity=Severity.ERROR if same_kind else Severity.WARNING,
+                hint=(
+                    "identical patterns in one kind are pure duplicates"
+                    if same_kind
+                    else "cross-kind duplicates train one surface form to "
+                    "two SQL shapes; keep only if intentional"
+                ),
+            )
+        )
+    return diagnostics
+
+
+def explain_dead_template(
+    template: SeedTemplate,
+    schema: Schema,
+    config: GenerationConfig | None = None,
+    probes: int = PROBES_PER_KIND,
+) -> list[Diagnostic]:
+    """Diagnostics for one template that failed to instantiate.
+
+    Used by the generator's miss-streak fast-fail path to attach an
+    explanation (with stable codes) instead of failing silently.
+    """
+    if template.sql_kind not in KIND_REGISTRY:
+        return [
+            make(
+                "L206",
+                f"template {template.tid!r} names unknown SQL kind "
+                f"{template.sql_kind!r}",
+                location=template.tid,
+            )
+        ]
+    diagnostics = lint_templates(
+        [schema], [template], config=config, probes=probes
+    )
+    if not diagnostics:
+        diagnostics.append(
+            make(
+                "L203",
+                f"builder for {template.sql_kind!r} kept missing on schema "
+                f"{schema.name!r} (stochastic miss streak); raise "
+                f"miss_streak_limit if the schema should support it",
+                location=f"{schema.name}:{template.tid}",
+            )
+        )
+    return diagnostics

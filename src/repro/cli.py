@@ -17,6 +17,10 @@ Commands:
   (micro-batching, translation cache, circuit breaker) with an
   optional metrics snapshot (``--stats`` / ``--stats-json``);
 * ``benchmark`` — evaluate a checkpoint on the Patients benchmark;
+* ``lint``      — run the static analyzer (:mod:`repro.analysis`) over
+  schemas and seed templates (default), or over a generated corpus
+  file (``--corpus PATH``).  Exit status: 0 clean, 4 findings
+  (errors; with ``--strict`` warnings count too), 1 internal error;
 * ``db explain`` — show the planner's execution plan for a SQL query
   against a populated sample database (``--execute`` also runs it and
   prints per-stage timings).
@@ -38,6 +42,7 @@ from repro.schema import SCHEMA_FACTORIES, load_schema
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_QUARANTINE = 3
+EXIT_LINT_FINDINGS = 4
 EXIT_INTERRUPTED = 130
 
 
@@ -204,6 +209,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("benchmark", help="evaluate on the Patients benchmark")
     bench.add_argument("--checkpoint", required=True)
     bench.add_argument("--category", default="", help="restrict to one category")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze schemas, seed templates, or a corpus",
+    )
+    lint.add_argument(
+        "--schema",
+        default="",
+        help="restrict to one built-in schema (default: all)",
+    )
+    lint.add_argument(
+        "--templates",
+        action="store_true",
+        help="lint the seed templates only (skip the schema pass)",
+    )
+    lint.add_argument(
+        "--corpus",
+        default="",
+        metavar="PATH",
+        help="audit a generated JSONL/TSV corpus file instead",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also count as findings (exit 4)",
+    )
 
     db = sub.add_parser("db", help="database/executor utilities")
     db_sub = db.add_subparsers(dest="db_command", required=True)
@@ -473,6 +507,44 @@ def cmd_benchmark(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import (
+        LintReport,
+        audit_corpus,
+        lint_schema,
+        lint_templates,
+    )
+    from repro.core.seed_templates import SEED_TEMPLATES
+    from repro.schema.catalog import all_schemas
+
+    if args.schema:
+        schemas = [load_schema(args.schema)]
+    else:
+        schemas = all_schemas()
+
+    report = LintReport()
+    if args.corpus:
+        default_schema = schemas[0] if args.schema else None
+        try:
+            report.extend(
+                audit_corpus(args.corpus, default_schema=default_schema)
+            )
+        except OSError as exc:
+            print(f"error: cannot read corpus: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    else:
+        if not args.templates:
+            for schema in schemas:
+                report.extend(lint_schema(schema))
+        report.extend(lint_templates(schemas, SEED_TEMPLATES))
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return EXIT_LINT_FINDINGS if report.has_findings(args.strict) else EXIT_OK
+
+
 def cmd_db(args) -> int:
     from repro.db.planner import ExecutorSession, explain
     from repro.errors import SqlError
@@ -514,6 +586,7 @@ _COMMANDS = {
     "translate": cmd_translate,
     "serve": cmd_serve,
     "benchmark": cmd_benchmark,
+    "lint": cmd_lint,
     "db": cmd_db,
 }
 

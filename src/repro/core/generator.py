@@ -26,7 +26,7 @@ from repro.core.seed_templates import (
     SEED_TEMPLATES,
 )
 from repro.core.templates import Family, SeedTemplate, TrainingPair, render
-from repro.errors import GenerationError
+from repro.errors import E_LINT, GenerationError
 from repro.schema.schema import Schema
 
 #: Builder attempts allowed per requested instance before giving up.
@@ -48,6 +48,7 @@ class Generator:
         config: GenerationConfig | None = None,
         templates: Sequence[SeedTemplate] = SEED_TEMPLATES,
         seed: int | np.random.SeedSequence = 0,
+        strict: bool = False,
     ) -> None:
         self.schema = schema
         self.config = config or GenerationConfig()
@@ -55,6 +56,10 @@ class Generator:
         if not self.templates:
             raise GenerationError("no seed templates supplied")
         self._rng = np.random.default_rng(seed)
+        self._strict = strict
+        #: template id -> lint diagnostics explaining a zero-yield
+        #: miss-streak fast-fail (filled lazily; see _explain_fast_fail).
+        self.fast_fail_diagnostics: dict[str, list] = {}
         self._templates_by_kind: dict[str, list[SeedTemplate]] = {}
         for template in self.templates:
             self._templates_by_kind.setdefault(template.sql_kind, []).append(template)
@@ -124,6 +129,8 @@ class Generator:
                 # instead of burning the whole attempt budget.
                 miss_streak += 1
                 if miss_streak >= self.config.miss_streak_limit:
+                    if produced == 0:
+                        self._explain_fast_fail(template)
                     break
                 continue
             miss_streak = 0
@@ -139,6 +146,34 @@ class Generator:
             seen.add(pair.key())
             produced += 1
             yield pair
+
+    def _explain_fast_fail(self, template: SeedTemplate) -> None:
+        """Attach lint diagnostics to a zero-yield miss-streak fast-fail.
+
+        The fast-fail itself stays silent by default — single-table
+        schemas legitimately kill join templates — but the *reason* is
+        recorded with stable ``L###`` codes so callers (and ``strict``
+        mode) can explain why the template produced nothing.  Uses the
+        analyzer's own deterministic probe RNG, never ``self._rng``, so
+        diagnosis cannot perturb the generated corpus.
+        """
+        if template.tid in self.fast_fail_diagnostics:
+            return
+        from repro.analysis import explain_dead_template
+
+        diagnostics = explain_dead_template(
+            template, self.schema, config=self.config
+        )
+        self.fast_fail_diagnostics[template.tid] = diagnostics
+        if self._strict:
+            summary = "; ".join(
+                f"[{d.code}] {d.message}" for d in diagnostics[:3]
+            )
+            raise GenerationError(
+                f"template {template.tid!r} cannot instantiate on schema "
+                f"{self.schema.name!r}: {summary}",
+                code=E_LINT,
+            )
 
     def _instantiate_variant(self, kind: str, seen):
         """One instance of a GROUP BY variant kind, under a random NL pattern."""

@@ -10,6 +10,7 @@ human-annotated training set.
 
 from __future__ import annotations
 
+import logging
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -17,12 +18,15 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.core.config import GenerationConfig
+from repro.errors import E_LINT, GenerationError
 from repro.core.parallel import SynthesisEngine
 from repro.core.seed_templates import SEED_TEMPLATES
 from repro.core.templates import SeedTemplate, TrainingPair
 from repro.nlp.lemmatizer import lemmatize
 from repro.nlp.ppdb import ParaphraseDatabase
 from repro.schema.schema import Schema
+
+logger = logging.getLogger("repro.analysis")
 
 
 @dataclass
@@ -101,6 +105,7 @@ class TrainingPipeline:
         seed: int = 0,
         pos_aware_dropout: bool = False,
         workers: int = 0,
+        lint: bool = True,
     ) -> None:
         if isinstance(schemas, Schema):
             schemas = [schemas]
@@ -112,6 +117,47 @@ class TrainingPipeline:
         self._seed = seed
         self._pos_aware_dropout = pos_aware_dropout
         self._workers = workers
+        self._lint = lint
+
+    # ------------------------------------------------------------------
+    # Pre-generation lint gate
+    # ------------------------------------------------------------------
+
+    def lint_report(self):
+        """The static-analysis report over this pipeline's inputs.
+
+        Memoized per input fingerprint (see
+        :func:`repro.analysis.lint_pipeline_inputs`), so repeated
+        pipelines over the same schemas/templates pay once.
+        """
+        from repro.analysis import lint_pipeline_inputs
+
+        return lint_pipeline_inputs(
+            self.schemas, self.templates, config=self.config
+        )
+
+    def _lint_gate(self) -> None:
+        """Refuse to generate from inputs with lint errors (fail fast).
+
+        Errors abort before any shard is scheduled; warnings are logged
+        and generation proceeds.  ``lint=False`` disables the gate.
+        The gate never touches generation RNG streams, so it cannot
+        change the corpus for inputs that pass.
+        """
+        if not self._lint:
+            return
+        report = self.lint_report()
+        for diag in report.warnings:
+            logger.warning("lint: %s", diag)
+        errors = report.errors
+        if errors:
+            shown = "; ".join(str(d) for d in errors[:5])
+            more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+            raise GenerationError(
+                f"refusing to generate: {len(errors)} lint error(s): "
+                f"{shown}{more}",
+                code=E_LINT,
+            )
 
     # ------------------------------------------------------------------
     # Corpus synthesis
@@ -141,6 +187,7 @@ class TrainingPipeline:
         worker count; ``recorder`` is an optional
         :class:`repro.perf.PerfRecorder` fed per-stage timings.
         """
+        self._lint_gate()
         effective = self._workers if workers is None else workers
         return self._engine().iter_batches(workers=effective, recorder=recorder)
 
@@ -179,6 +226,7 @@ class TrainingPipeline:
         from repro.core.checkpoint import generate_checkpointed
         from repro.core.faults import NO_FAULTS
 
+        self._lint_gate()
         effective = self._workers if workers is None else workers
         return generate_checkpointed(
             self._engine(),

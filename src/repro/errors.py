@@ -29,6 +29,9 @@ E_MANIFEST_MISMATCH = "E_MANIFEST_MISMATCH"
 E_INTERRUPTED = "E_INTERRUPTED"
 E_FAULT_INJECTED = "E_FAULT_INJECTED"
 
+#: Static analysis ----------------------------------------------------
+E_LINT = "E_LINT"
+
 #: Serving ------------------------------------------------------------
 E_RATE_LIMITED = "E_RATE_LIMITED"
 E_QUEUE_FULL = "E_QUEUE_FULL"
@@ -46,6 +49,7 @@ ERROR_CODES: dict[str, str] = {
     E_MANIFEST_MISMATCH: "manifest was written by an incompatible run",
     E_INTERRUPTED: "run interrupted; resumable from checkpoint",
     E_FAULT_INJECTED: "failure injected by the fault harness",
+    E_LINT: "static analysis reported lint errors (see repro.analysis)",
     E_RATE_LIMITED: "admission rate exceeded",
     E_QUEUE_FULL: "admission queue is full",
     E_TIMEOUT: "no answer within the request deadline",

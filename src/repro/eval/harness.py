@@ -43,6 +43,10 @@ class EvalResult:
     #: execution-match scoring, the checker's executor stage timings
     #: (scan/join/group/sort) and result-cache counters.
     perf: dict = field(default_factory=dict)
+    #: Static-analysis summary over the evaluated schemas (filled when
+    #: ``evaluate(..., lint=True)``): finding counts, per-code tallies,
+    #: and the rendered diagnostics.  Empty dict when lint was off.
+    lint: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -103,6 +107,12 @@ class EvalResult:
                 f"{cache['cache_misses']} misses "
                 f"({cache['cache_hit_rate']:.1%} hit rate)"
             )
+        if self.lint:
+            lines.append(
+                f"  lint: {self.lint['errors']} error(s), "
+                f"{self.lint['warnings']} warning(s) over "
+                f"{self.lint['schemas']} schema(s)"
+            )
         return "\n".join(lines)
 
 
@@ -113,13 +123,18 @@ def evaluate(
     checker: EquivalenceChecker | None = None,
     schemas: dict[str, Schema] | None = None,
     postprocess: bool = True,
+    lint: bool = False,
 ) -> EvalResult:
     """Evaluate ``model`` on ``workload``.
 
     ``metric`` is ``"exact"`` (Spider protocol) or ``"semantic"``
     (Patients protocol, needs a ``checker`` for execution-based
     equivalence).  ``schemas`` enables post-processing repair per item
-    schema; items whose schema is missing skip repair.
+    schema; items whose schema is missing skip repair.  ``lint=True``
+    additionally runs the static analyzer over ``schemas`` and the
+    shipped seed templates, attaching the summary to
+    :attr:`EvalResult.lint` — accuracy numbers for inputs that fail
+    lint should not be trusted.
     """
     if metric not in ("exact", "semantic"):
         raise ValueError(f"unknown metric {metric!r}")
@@ -170,5 +185,16 @@ def evaluate(
         result.perf["executor"] = checker_report["stages"]
         result.perf["executor_cache"] = {
             k: v for k, v in checker_report.items() if k != "stages"
+        }
+    if lint and schemas:
+        from repro.analysis import lint_pipeline_inputs
+        from repro.core.seed_templates import SEED_TEMPLATES
+
+        report = lint_pipeline_inputs(list(schemas.values()), SEED_TEMPLATES)
+        result.lint = {
+            **report.counts(),
+            "schemas": len(schemas),
+            "by_code": report.by_code(),
+            "diagnostics": [d.to_dict() for d in report.sorted()],
         }
     return result

@@ -16,16 +16,35 @@ workloads need (paper §3.1, §5):
 
 All nodes are immutable (frozen dataclasses); equality is structural,
 which the normalizer and equivalence checker build on.
+
+Nodes produced by the parser additionally carry a :class:`Span` — the
+character range of the node in the original SQL text — used by the
+static analyzer (:mod:`repro.analysis`) to anchor diagnostics.  Spans
+are excluded from equality and hashing (``compare=False``), so two
+structurally identical queries compare equal regardless of where their
+tokens sat in the source; hand-built ASTs simply leave spans ``None``.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Union
 
 #: Sentinel table name standing for a to-be-inferred join path (§5.1).
 JOIN_PLACEHOLDER = "@JOIN"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open ``[start, end)`` character range in the source SQL."""
+
+    start: int
+    end: int
+
+    def slice(self, text: str) -> str:
+        """The source fragment this span covers."""
+        return text[self.start : self.end]
 
 
 class AggFunc(enum.Enum):
@@ -87,6 +106,7 @@ class ColumnRef:
 
     column: str
     table: str | None = None
+    span: Span | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.table}.{self.column}" if self.table else self.column
@@ -95,6 +115,8 @@ class ColumnRef:
 @dataclass(frozen=True)
 class Star:
     """``*`` — all columns."""
+
+    span: Span | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return "*"
@@ -105,6 +127,7 @@ class Literal:
     """A constant value (int, float, or string)."""
 
     value: int | float | str
+    span: Span | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         if isinstance(self.value, str):
@@ -121,6 +144,7 @@ class Placeholder:
     """
 
     name: str
+    span: Span | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return "@" + self.name
@@ -145,6 +169,7 @@ class Aggregate:
     func: AggFunc
     arg: ColumnRef | Star
     distinct: bool = False
+    span: Span | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         inner = ("DISTINCT " if self.distinct else "") + str(self.arg)
@@ -170,6 +195,7 @@ class Comparison:
     left: Operand
     op: CompOp
     right: Operand
+    span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -179,6 +205,7 @@ class Between:
     column: ColumnRef
     low: Literal | Placeholder
     high: Literal | Placeholder
+    span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -189,6 +216,7 @@ class InPredicate:
     values: tuple[Literal | Placeholder, ...] = ()
     subquery: "Subquery | None" = None
     negated: bool = False
+    span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -198,6 +226,7 @@ class Like:
     column: ColumnRef
     pattern: Literal | Placeholder
     negated: bool = False
+    span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -206,6 +235,7 @@ class Exists:
 
     subquery: "Subquery"
     negated: bool = False
+    span: Span | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -290,6 +320,7 @@ class Query:
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
     distinct: bool = False
+    span: Span | None = field(default=None, compare=False)
 
     @property
     def uses_join_placeholder(self) -> bool:

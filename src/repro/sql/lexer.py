@@ -44,6 +44,10 @@ class Token:
     type: TokenType
     value: str
     position: int
+    #: Offset one past the token's last source character (so
+    #: ``sql[position:end]`` is the raw lexeme).  Hand-built tokens may
+    #: leave the default; the lexer always fills it in.
+    end: int = -1
 
     def matches(self, ttype: TokenType, value: str | None = None) -> bool:
         if self.type is not ttype:
@@ -75,7 +79,7 @@ def tokenize(sql: str) -> list[Token]:
                     break
                 chunks.append(sql[end])
                 end += 1
-            tokens.append(Token(TokenType.STRING, "".join(chunks), pos))
+            tokens.append(Token(TokenType.STRING, "".join(chunks), pos, end + 1))
             pos = end + 1
             continue
         if char == "@":
@@ -85,7 +89,7 @@ def tokenize(sql: str) -> list[Token]:
             name = sql[pos + 1 : end]
             if not name:
                 raise SqlLexError("empty placeholder", pos)
-            tokens.append(Token(TokenType.PLACEHOLDER, name, pos))
+            tokens.append(Token(TokenType.PLACEHOLDER, name, pos, end))
             pos = end
             continue
         if char.isdigit() or (char == "-" and pos + 1 < length and sql[pos + 1].isdigit()):
@@ -99,7 +103,7 @@ def tokenize(sql: str) -> list[Token]:
                         break
                     seen_dot = True
                 end += 1
-            tokens.append(Token(TokenType.NUMBER, sql[pos:end], pos))
+            tokens.append(Token(TokenType.NUMBER, sql[pos:end], pos, end))
             pos = end
             continue
         if char.isalpha() or char == "_":
@@ -108,11 +112,11 @@ def tokenize(sql: str) -> list[Token]:
                 end += 1
             word = sql[pos:end].lower()
             ttype = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
-            tokens.append(Token(ttype, word, pos))
+            tokens.append(Token(ttype, word, pos, end))
             pos = end
             continue
         if char == "*":
-            tokens.append(Token(TokenType.STAR, "*", pos))
+            tokens.append(Token(TokenType.STAR, "*", pos, pos + 1))
             pos += 1
             continue
         matched_op = None
@@ -123,13 +127,13 @@ def tokenize(sql: str) -> list[Token]:
         if matched_op is not None:
             # Normalize != to the standard <>.
             value = "<>" if matched_op == "!=" else matched_op
-            tokens.append(Token(TokenType.OP, value, pos))
+            tokens.append(Token(TokenType.OP, value, pos, pos + len(matched_op)))
             pos += len(matched_op)
             continue
         if char in PUNCTUATION:
-            tokens.append(Token(TokenType.PUNCT, char, pos))
+            tokens.append(Token(TokenType.PUNCT, char, pos, pos + 1))
             pos += 1
             continue
         raise SqlLexError(f"unexpected character {char!r}", pos)
-    tokens.append(Token(TokenType.EOF, "", length))
+    tokens.append(Token(TokenType.EOF, "", length, length))
     return tokens

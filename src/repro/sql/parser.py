@@ -46,6 +46,7 @@ from repro.sql.ast import (
     Placeholder,
     Predicate,
     Query,
+    Span,
     Star,
     Subquery,
 )
@@ -93,9 +94,16 @@ class _Parser:
     def _keyword(self, word: str) -> bool:
         return self._accept(TokenType.KEYWORD, word) is not None
 
+    def _span_from(self, start_index: int) -> Span:
+        """Span covering tokens ``start_index`` .. the last one consumed."""
+        start = self._tokens[start_index]
+        last = self._tokens[max(start_index, self._index - 1)]
+        return Span(start.position, last.end)
+
     # -- grammar --------------------------------------------------------
 
     def parse_query(self) -> Query:
+        start = self._index
         self._expect(TokenType.KEYWORD, "select")
         distinct = self._keyword("distinct")
         select = self._parse_select_items()
@@ -127,6 +135,7 @@ class _Parser:
             order_by=order_by,
             limit=limit,
             distinct=distinct,
+            span=self._span_from(start),
         )
 
     def _parse_select_items(self):
@@ -136,29 +145,34 @@ class _Parser:
         return tuple(items)
 
     def _parse_select_item(self):
+        start = self._index
         if self._accept(TokenType.STAR):
-            return Star()
+            return Star(span=self._span_from(start))
         if self._current.type is TokenType.KEYWORD and self._current.value in _AGG_NAMES:
             return self._parse_aggregate()
         return self._parse_column_ref()
 
     def _parse_aggregate(self) -> Aggregate:
+        start = self._index
         func = AggFunc(self._advance().value.upper())
         self._expect(TokenType.PUNCT, "(")
         distinct = self._keyword("distinct")
-        if self._accept(TokenType.STAR):
-            arg: ColumnRef | Star = Star()
+        if self._check(TokenType.STAR):
+            inner = self._index
+            self._advance()
+            arg: ColumnRef | Star = Star(span=self._span_from(inner))
         else:
             arg = self._parse_column_ref()
         self._expect(TokenType.PUNCT, ")")
-        return Aggregate(func, arg, distinct)
+        return Aggregate(func, arg, distinct, span=self._span_from(start))
 
     def _parse_column_ref(self) -> ColumnRef:
+        start = self._index
         first = self._expect(TokenType.IDENT).value
         if self._accept(TokenType.PUNCT, "."):
             second = self._expect(TokenType.IDENT).value
-            return ColumnRef(second, table=first)
-        return ColumnRef(first)
+            return ColumnRef(second, table=first, span=self._span_from(start))
+        return ColumnRef(first, span=self._span_from(start))
 
     def _parse_column_list(self) -> tuple[ColumnRef, ...]:
         cols = [self._parse_column_ref()]
@@ -233,12 +247,13 @@ class _Parser:
         return self._parse_atom()
 
     def _parse_atom(self) -> Predicate:
+        start = self._index
         negated = self._keyword("not")
         if self._keyword("exists"):
             self._expect(TokenType.PUNCT, "(")
             sub = self.parse_query()
             self._expect(TokenType.PUNCT, ")")
-            return Exists(Subquery(sub), negated=negated)
+            return Exists(Subquery(sub), negated=negated, span=self._span_from(start))
         if negated:
             raise SqlParseError(
                 f"NOT must be followed by EXISTS or a predicate in {self._text!r}"
@@ -255,43 +270,56 @@ class _Parser:
                 low = self._parse_operand()
                 self._expect(TokenType.KEYWORD, "and")
                 high = self._parse_operand()
-                between = Between(left, low, high)
+                between = Between(left, low, high, span=self._span_from(start))
                 return Not(between) if negated else between
             if self._keyword("in"):
-                return self._parse_in_tail(left, negated)
+                return self._parse_in_tail(left, negated, start)
             if self._keyword("like"):
                 pattern = self._parse_operand()
-                return Like(left, pattern, negated=negated)
+                return Like(left, pattern, negated=negated, span=self._span_from(start))
             raise SqlParseError(f"dangling NOT in {self._text!r}")
         op_token = self._expect(TokenType.OP)
         op = CompOp(op_token.value)
         right = self._parse_operand()
-        return Comparison(left, op, right)
+        return Comparison(left, op, right, span=self._span_from(start))
 
-    def _parse_in_tail(self, column: ColumnRef, negated: bool) -> InPredicate:
+    def _parse_in_tail(
+        self, column: ColumnRef, negated: bool, start: int
+    ) -> InPredicate:
         self._expect(TokenType.PUNCT, "(")
         if self._check(TokenType.KEYWORD, "select"):
             sub = self.parse_query()
             self._expect(TokenType.PUNCT, ")")
-            return InPredicate(column, subquery=Subquery(sub), negated=negated)
+            return InPredicate(
+                column,
+                subquery=Subquery(sub),
+                negated=negated,
+                span=self._span_from(start),
+            )
         values = [self._parse_operand()]
         while self._accept(TokenType.PUNCT, ","):
             values.append(self._parse_operand())
         self._expect(TokenType.PUNCT, ")")
-        return InPredicate(column, values=tuple(values), negated=negated)
+        return InPredicate(
+            column,
+            values=tuple(values),
+            negated=negated,
+            span=self._span_from(start),
+        )
 
     def _parse_operand(self):
         token = self._current
+        span = Span(token.position, token.end)
         if token.type is TokenType.NUMBER:
             self._advance()
             text = token.value
-            return Literal(float(text) if "." in text else int(text))
+            return Literal(float(text) if "." in text else int(text), span=span)
         if token.type is TokenType.STRING:
             self._advance()
-            return Literal(token.value)
+            return Literal(token.value, span=span)
         if token.type is TokenType.PLACEHOLDER:
             self._advance()
-            return Placeholder(token.value)
+            return Placeholder(token.value, span=span)
         if token.type is TokenType.KEYWORD and token.value in _AGG_NAMES:
             return self._parse_aggregate()
         if token.matches(TokenType.PUNCT, "("):

@@ -1,0 +1,237 @@
+"""Integration points of the static-analysis framework.
+
+Covers the acceptance criteria: the shipped template library is
+lint-clean on every catalog schema, the pipeline refuses to generate
+from inputs with lint errors, the generator explains miss-streak
+fast-fails with stable codes, and ``repro lint`` works end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import lint_pipeline_inputs
+from repro.cli import EXIT_LINT_FINDINGS, EXIT_OK, main
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.core.generator import Generator
+from repro.core.seed_templates import SEED_TEMPLATES
+from repro.core.templates import SeedTemplate
+from repro.errors import E_LINT, GenerationError
+from repro.schema.catalog import all_schemas
+
+
+def broken_template():
+    """A select_all template whose NL demands a slot no builder fills."""
+    base = next(t for t in SEED_TEMPLATES if t.sql_kind == "select_all")
+    return SeedTemplate(
+        tid="broken-00",
+        family=base.family,
+        sql_kind=base.sql_kind,
+        nl_pattern=base.nl_pattern + " with {bogus_slot}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: shipped templates x all catalog schemas are error-free
+# ----------------------------------------------------------------------
+
+def test_shipped_templates_clean_on_all_catalog_schemas():
+    report = lint_pipeline_inputs(all_schemas(), SEED_TEMPLATES)
+    assert report.ok, report.format_text()
+    # Only the expected benign warning classes remain: structurally
+    # dead kinds on schemas that cannot host them (L203/L204) and the
+    # two intentional cross-kind NL duplicates (L205 warnings).
+    assert report.codes() <= {"L203", "L204", "L205"}
+
+
+def test_lint_pipeline_inputs_is_memoized():
+    first = lint_pipeline_inputs(all_schemas(), SEED_TEMPLATES)
+    second = lint_pipeline_inputs(all_schemas(), SEED_TEMPLATES)
+    assert first is second
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the pipeline refuses to generate from bad inputs
+# ----------------------------------------------------------------------
+
+def test_pipeline_refuses_lint_errors(patients, small_config):
+    templates = list(SEED_TEMPLATES) + [broken_template()]
+    pipeline = TrainingPipeline(patients, small_config, templates=templates)
+    with pytest.raises(GenerationError) as excinfo:
+        pipeline.generate()
+    assert excinfo.value.code == E_LINT
+    assert "L201" in str(excinfo.value)
+
+
+def test_pipeline_gate_runs_before_any_shard(patients, small_config):
+    templates = list(SEED_TEMPLATES) + [broken_template()]
+    pipeline = TrainingPipeline(patients, small_config, templates=templates)
+    with pytest.raises(GenerationError):
+        # Streaming must refuse at iterator construction, not first next().
+        pipeline.generate_stream()
+
+
+def test_pipeline_gate_can_be_disabled(patients, small_config):
+    # A same-kind duplicate NL pattern is a lint *error* (L205) but is
+    # harmless to generation itself — the right defect for proving the
+    # bypass: gated construction refuses, ungated generates fine.
+    base = next(t for t in SEED_TEMPLATES if t.sql_kind == "select_all")
+    clone = SeedTemplate(
+        tid="clone-00",
+        family=base.family,
+        sql_kind=base.sql_kind,
+        nl_pattern=base.nl_pattern,
+    )
+    templates = list(SEED_TEMPLATES) + [clone]
+    with pytest.raises(GenerationError):
+        TrainingPipeline(patients, small_config, templates=templates).generate()
+    corpus = TrainingPipeline(
+        patients, small_config, templates=templates, lint=False
+    ).generate()
+    assert len(corpus) > 0
+
+
+def test_pipeline_gate_passes_clean_inputs(patients, small_config):
+    report = TrainingPipeline(patients, small_config).lint_report()
+    assert report.ok
+    corpus = TrainingPipeline(patients, small_config).generate()
+    assert len(corpus) > 0
+
+
+def test_checkpointed_generation_is_gated(patients, small_config, tmp_path):
+    templates = list(SEED_TEMPLATES) + [broken_template()]
+    pipeline = TrainingPipeline(patients, small_config, templates=templates)
+    with pytest.raises(GenerationError) as excinfo:
+        pipeline.generate_checkpointed(tmp_path / "corpus.jsonl")
+    assert excinfo.value.code == E_LINT
+    assert not (tmp_path / "corpus.jsonl").exists()
+
+
+def test_gate_does_not_change_the_corpus(patients, small_config):
+    gated = TrainingPipeline(patients, small_config, seed=7).generate()
+    ungated = TrainingPipeline(
+        patients, small_config, seed=7, lint=False
+    ).generate()
+    assert [p.key() for p in gated] == [p.key() for p in ungated]
+
+
+# ----------------------------------------------------------------------
+# Satellite: generator fast-fail explanation
+# ----------------------------------------------------------------------
+
+def test_fast_fail_records_diagnostics(patients, small_config):
+    join = next(t for t in SEED_TEMPLATES if t.sql_kind == "join_select")
+    generator = Generator(patients, small_config, templates=SEED_TEMPLATES)
+    assert generator.generate_template(join) == []
+    diags = generator.fast_fail_diagnostics[join.tid]
+    assert {d.code for d in diags} <= {"L203", "L204"}
+
+
+def test_fast_fail_strict_raises_with_codes(patients, small_config):
+    join = next(t for t in SEED_TEMPLATES if t.sql_kind == "join_select")
+    generator = Generator(
+        patients, small_config, templates=SEED_TEMPLATES, strict=True
+    )
+    with pytest.raises(GenerationError) as excinfo:
+        generator.generate_template(join)
+    assert excinfo.value.code == E_LINT
+    assert "L203" in str(excinfo.value)
+
+
+def test_fast_fail_silent_on_productive_templates(patients, small_config):
+    generator = Generator(patients, small_config, templates=SEED_TEMPLATES)
+    select_all = next(t for t in SEED_TEMPLATES if t.sql_kind == "select_all")
+    assert generator.generate_template(select_all)
+    assert select_all.tid not in generator.fast_fail_diagnostics
+
+
+# ----------------------------------------------------------------------
+# CLI: repro lint
+# ----------------------------------------------------------------------
+
+@pytest.mark.lint
+def test_cli_lint_patients_json_smoke(capsys):
+    exit_code = main(["lint", "--schema", "patients", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == EXIT_OK  # warnings only; non-strict exit is clean
+    assert payload["summary"]["errors"] == 0
+    assert {d["code"] for d in payload["diagnostics"]} <= {
+        "L203",
+        "L204",
+        "L205",
+    }
+
+
+@pytest.mark.lint
+def test_cli_lint_strict_reports_findings(capsys):
+    exit_code = main(["lint", "--schema", "patients", "--strict"])
+    out = capsys.readouterr().out
+    assert exit_code == EXIT_LINT_FINDINGS
+    assert "warning" in out
+
+
+@pytest.mark.lint
+def test_cli_lint_all_schemas_clean(capsys):
+    assert main(["lint"]) == EXIT_OK
+    assert "error" not in capsys.readouterr().out.splitlines()[-1].split()[1]
+
+
+@pytest.mark.lint
+def test_cli_lint_corpus(tmp_path, capsys):
+    path = tmp_path / "corpus.jsonl"
+    records = [
+        {"nl": "show all patients", "sql": "SELECT * FROM patients",
+         "schema": "patients"},
+        {"nl": "bad", "sql": "SELEC", "schema": "patients"},
+    ]
+    path.write_text(
+        "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+    )
+    exit_code = main(["lint", "--corpus", str(path), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == EXIT_LINT_FINDINGS
+    assert payload["summary"]["by_code"] == {"L301": 1}
+
+
+@pytest.mark.lint
+def test_cli_lint_missing_corpus_is_an_error(capsys):
+    assert main(["lint", "--corpus", "/no/such/file.jsonl"]) == 1
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# Eval hook
+# ----------------------------------------------------------------------
+
+def test_eval_attaches_lint_summary(patients):
+    from repro.bench.workloads import Workload, WorkloadItem
+    from repro.eval.harness import evaluate
+    from repro.sql.parser import parse
+
+    class Echo:
+        def translate(self, nl):
+            return "SELECT * FROM patients"
+
+        def translate_for_schema(self, nl, schema):
+            return "SELECT * FROM patients"
+
+    workload = Workload(
+        name="w",
+        items=[
+            WorkloadItem(
+                nl="show all patients",
+                sql=parse("SELECT * FROM patients"),
+                schema_name="patients",
+            )
+        ],
+    )
+    result = evaluate(Echo(), workload, schemas={"patients": patients}, lint=True)
+    assert result.lint["errors"] == 0
+    assert result.lint["schemas"] == 1
+    assert "lint:" in result.summary()
+    # Default stays off: no lint key, no cost.
+    bare = evaluate(Echo(), workload, schemas={"patients": patients})
+    assert bare.lint == {}
+    assert "lint:" not in bare.summary()
