@@ -1,0 +1,275 @@
+"""Columnar execution benchmark — writes ``BENCH_columnar.json``.
+
+Measures the vectorized columnar arm (:mod:`repro.db.vectorized`)
+against the planned row arm (:mod:`repro.db.planner` with
+``columnar=False``) over SynQL-style scaled workloads: the same query
+shapes run at a ladder of row counts and join fan-outs, so the record
+shows not just the headline speedup but *where* vectorization starts
+to win — the per-workload ``crossover_rows``.
+
+Workload grid (retail schema, deterministic synthetic data):
+
+* ``scan_topk``        — selective filter + ORDER BY DESC LIMIT over
+  the fact table (vectorized mask + top-k sort);
+* ``group_aggregate``  — single-table GROUP BY with COUNT/SUM/AVG
+  (factorized group codes + segment reductions);
+* ``join_aggregate``   — FK hash join into GROUP BY/SUM at join
+  fan-outs 4 and 16 (factorized probe + ragged expansion);
+* ``join3_topk``       — three-table join with filter, sort, LIMIT.
+
+Fan-out is controlled directly: parent tables get ``rows / fanout``
+rows while the ``orders`` fact table gets ``rows``, so each parent key
+matches ~``fanout`` fact rows.
+
+Both arms run through the same planner (:func:`execute_planned`); the
+only difference is the ``columnar`` flag, so the comparison isolates
+the kernels.  Results are property-checked bit-identical (values *and*
+row order) between the arms at every size before timings are reported;
+the record carries ``identical`` per workload and overall.  One warm-up
+pass per arm precedes timing so lazy column-store builds and scan views
+are amortized the way a long-lived session amortizes them.
+
+The acceptance bar (ISSUE 6): columnar ≥ 10× the planned row arm on
+the large-DB aggregate/join workloads.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_columnar.py [--smoke]
+        [--sizes 256,1024,4096,16384] [--repeats 3]
+        [--output BENCH_columnar.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.db import Database, execute_planned
+from repro.schema import load_schema
+from repro.sql.parser import parse
+
+SEED = 23
+
+#: (name, sql, join fan-out).  Queries are slot-free so one parse per
+#: workload serves every size.
+WORKLOADS = (
+    (
+        "scan_topk",
+        "SELECT order_id, quantity FROM orders WHERE quantity > 2 "
+        "ORDER BY quantity DESC LIMIT 100",
+        1,
+    ),
+    (
+        "group_aggregate",
+        "SELECT quantity, COUNT(*), SUM(order_id) FROM orders "
+        "WHERE order_id > 10 GROUP BY quantity ORDER BY quantity",
+        1,
+    ),
+    (
+        "join_aggregate_fanout4",
+        "SELECT product.category, SUM(orders.quantity), COUNT(*) "
+        "FROM product, orders "
+        "WHERE orders.product_id = product.product_id "
+        "GROUP BY product.category ORDER BY product.category",
+        4,
+    ),
+    (
+        "join_aggregate_fanout16",
+        "SELECT product.category, SUM(orders.quantity), COUNT(*) "
+        "FROM product, orders "
+        "WHERE orders.product_id = product.product_id "
+        "GROUP BY product.category ORDER BY product.category",
+        16,
+    ),
+    (
+        # FROM order matters: orders first so both parents arrive with a
+        # join key (parent-first ordering would cross-product the parents).
+        "join3_topk",
+        "SELECT customer.name, product.product_name, orders.quantity "
+        "FROM orders, customer, product "
+        "WHERE orders.customer_id = customer.customer_id "
+        "AND orders.product_id = product.product_id "
+        "AND orders.quantity > 1 "
+        "ORDER BY customer.name LIMIT 50",
+        4,
+    ),
+)
+
+#: Workloads the ISSUE 6 ≥10× acceptance bar applies to at the largest
+#: size (aggregate/join shapes; the top-k scan is reported but not
+#: gated — its row arm already stops at LIMIT).
+HEADLINE_WORKLOADS = (
+    "group_aggregate",
+    "join_aggregate_fanout4",
+    "join_aggregate_fanout16",
+)
+
+
+def make_database(rows: int, fanout: int, seed: int = SEED) -> Database:
+    """Retail DB with ``rows`` fact rows and ~``fanout`` rows per parent."""
+    rng = np.random.default_rng((seed, rows, fanout))
+    parents = max(rows // fanout, 4)
+    database = Database(load_schema("retail"))
+    cities = [f"city_{i:02d}" for i in range(17)]
+    categories = [f"cat_{i:02d}" for i in range(11)]
+    database.insert_many(
+        "customer",
+        (
+            {
+                "customer_id": i,
+                "name": f"name_{i:06d}",
+                "city": cities[i % len(cities)],
+                "age": int(rng.integers(18, 90)),
+            }
+            for i in range(parents)
+        ),
+    )
+    database.insert_many(
+        "product",
+        (
+            {
+                "product_id": i,
+                "product_name": f"prod_{i:06d}",
+                "category": categories[i % len(categories)],
+                "price": round(float(rng.uniform(1.0, 100.0)), 2),
+                "stock": int(rng.integers(0, 500)),
+            }
+            for i in range(parents)
+        ),
+    )
+    customer_ids = rng.integers(0, parents, size=rows)
+    product_ids = rng.integers(0, parents, size=rows)
+    quantities = rng.integers(1, 9, size=rows)
+    database.insert_many(
+        "orders",
+        (
+            {
+                "order_id": i,
+                "customer_id": int(customer_ids[i]),
+                "product_id": int(product_ids[i]),
+                "quantity": int(quantities[i]),
+                "order_date": f"2024-{1 + i % 12:02d}-{1 + i % 28:02d}",
+            }
+            for i in range(rows)
+        ),
+    )
+    return database
+
+
+def time_arm(query, database: Database, columnar: bool, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        execute_planned(query, database, columnar=columnar)
+    return time.perf_counter() - start
+
+
+def run_workload(name: str, sql: str, fanout: int, sizes, repeats: int) -> dict:
+    query = parse(sql)
+    scaling = []
+    identical = True
+    crossover = None
+    for rows in sizes:
+        database = make_database(rows, fanout)
+        row_result = execute_planned(query, database, columnar=False)
+        col_result = execute_planned(query, database, columnar=True)
+        size_identical = col_result == row_result
+        identical = identical and size_identical
+        # Warm-up above also built the column stores; timed passes now
+        # measure steady-state execution.
+        row_seconds = time_arm(query, database, columnar=False, repeats=repeats)
+        col_seconds = time_arm(query, database, columnar=True, repeats=repeats)
+        speedup = round(row_seconds / col_seconds, 2) if col_seconds > 0 else 0.0
+        if crossover is None and col_seconds <= row_seconds:
+            crossover = rows
+        scaling.append(
+            {
+                "rows": rows,
+                "identical": size_identical,
+                "row_seconds": round(row_seconds, 5),
+                "columnar_seconds": round(col_seconds, 5),
+                "speedup": speedup,
+            }
+        )
+    return {
+        "workload": name,
+        "sql": sql,
+        "fanout": fanout,
+        "identical": identical,
+        "crossover_rows": crossover,
+        "peak_speedup": max(s["speedup"] for s in scaling),
+        "largest_speedup": scaling[-1]["speedup"],
+        "scaling": scaling,
+    }
+
+
+def run_benchmark(sizes=None, repeats: int = 3) -> dict:
+    sizes = list(sizes) if sizes else [64, 256, 1024, 4096, 16384]
+    workloads = {}
+    for name, sql, fanout in WORKLOADS:
+        workloads[name] = run_workload(name, sql, fanout, sizes, repeats)
+    headline = {
+        name: workloads[name]["largest_speedup"] for name in HEADLINE_WORKLOADS
+    }
+    return {
+        "benchmark": "columnar_execution",
+        "schema": "retail",
+        "sizes": sizes,
+        "repeats": repeats,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "identical": all(w["identical"] for w in workloads.values()),
+        "headline_speedups": headline,
+        "workloads": workloads,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated fact-table row counts (default 64..16384 ladder)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run wired into the test suite so this script cannot rot",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_columnar.json"),
+    )
+    args = parser.parse_args(argv)
+    sizes = (
+        [int(s) for s in args.sizes.split(",")] if args.sizes else None
+    )
+    if args.smoke:
+        sizes = [32, 128]
+        args.repeats = min(args.repeats, 1)
+    record = run_benchmark(sizes=sizes, repeats=args.repeats)
+    output = Path(args.output)
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    for name, workload in record["workloads"].items():
+        last = workload["scaling"][-1]
+        crossover = workload["crossover_rows"]
+        print(
+            f"  {name:<24} rows {last['rows']:>6}  "
+            f"row {last['row_seconds']:>8.3f}s  "
+            f"columnar {last['columnar_seconds']:>8.3f}s  "
+            f"speedup {last['speedup']:>6.2f}x  "
+            f"crossover={crossover}  identical={workload['identical']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Columnar execution benchmark: vectorized kernels vs the row arm.
+
+Marked ``columnar`` and excluded from tier-1 (``pytest -x -q`` collects
+``tests/`` only); run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_columnar.py -m columnar
+
+The test records the measured scaling ladder to ``BENCH_columnar.json``
+at the repository root (the same record ``benchmarks/run_columnar.py``
+produces) and asserts the vectorized engine's headline claim (ISSUE 6):
+columnar execution is at least 10× faster than the planned row arm on
+the large-DB aggregate/join workloads, while returning bit-identical
+results — values *and* row order — at every size.
+
+Bit-identity is asserted unconditionally.  The speedup-ratio assertion
+is gated on ``_common.speedup_assertable`` so a ladder trimmed to tiny
+sizes (where constant factors dominate) degrades to an identity-only
+run instead of flaking.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from _common import speedup_assertable
+from run_columnar import HEADLINE_WORKLOADS, run_benchmark
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+SIZES = [64, 256, 1024, 4096, 16384]
+
+
+@pytest.mark.columnar
+def test_columnar_speedup_recorded():
+    record = run_benchmark(sizes=SIZES, repeats=3)
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    # Correctness precedes speed: every workload at every size must be
+    # bit-identical between the arms.
+    assert record["identical"] is True, record
+
+    for name in HEADLINE_WORKLOADS:
+        workload = record["workloads"][name]
+        # The crossover must be observed somewhere on the ladder — the
+        # columnar arm has to actually win before the largest size.
+        assert workload["crossover_rows"] is not None, workload
+        if not speedup_assertable(SIZES[-1]):
+            continue
+        # The acceptance bar from ISSUE 6: >= 10x over the planned row
+        # arm on large-DB aggregate/join workloads.
+        assert workload["largest_speedup"] >= 10.0, (
+            name,
+            workload["largest_speedup"],
+        )

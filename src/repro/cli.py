@@ -255,6 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the query, printing rows and per-stage timings",
     )
+    db_explain.add_argument(
+        "--columnar",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="vectorized execution arm: auto (row-count threshold), "
+        "on (force), off (row path only)",
+    )
     return parser
 
 
@@ -568,7 +575,8 @@ def cmd_db(args) -> int:
     print(explain(query, database))
     if args.execute:
         recorder = PerfRecorder()
-        session = ExecutorSession(database, recorder=recorder)
+        columnar = {"auto": None, "on": True, "off": False}[args.columnar]
+        session = ExecutorSession(database, recorder=recorder, columnar=columnar)
         rows = session.execute(query)
         print(f"\n{len(rows)} row(s)")
         for row in rows[:20]:
@@ -576,6 +584,19 @@ def cmd_db(args) -> int:
         if len(rows) > 20:
             print(f"  ... ({len(rows) - 20} more)")
         print(recorder.format_table(title="executor perf"))
+        trace = session.last_columnar_trace
+        if trace is not None:
+            summary = (
+                f"columnar steps: {trace.vectorized_steps} vectorized, "
+                f"{trace.row_steps} row"
+            )
+            reasons = trace.fallback_reasons()
+            if reasons:
+                details = ", ".join(
+                    f"{reason} (x{count})" for reason, count in sorted(reasons.items())
+                )
+                summary += f"; fallbacks: {details}"
+            print(summary)
     return 0
 
 

@@ -12,9 +12,14 @@ from repro.db.planner import (
     explain,
 )
 from repro.db.similarity import best_match, jaccard_tokens, jaccard_trigram
-from repro.db.storage import Database, Row
+from repro.db.storage import ColumnData, ColumnStore, Database, Row
+from repro.db.vectorized import COLUMNAR_MIN_ROWS, ColumnarTrace
 
 __all__ = [
+    "COLUMNAR_MIN_ROWS",
+    "ColumnData",
+    "ColumnStore",
+    "ColumnarTrace",
     "Database",
     "ExecutorSession",
     "MAX_CROSS_PRODUCT",

@@ -163,7 +163,31 @@ def finish_rows(
         else:
             output = _execute_plain(query, joined, subquery_values)
 
-        if query.distinct:
+    return apply_distinct_order_limit(
+        query, output, max_rows=max_rows, recorder=recorder
+    )
+
+
+def apply_distinct_order_limit(
+    query: Query,
+    output: list[Row],
+    max_rows: int | None = None,
+    recorder=None,
+) -> list[Row]:
+    """The tail of the pipeline: DISTINCT → ORDER BY → LIMIT.
+
+    Shared between :func:`finish_rows` and the columnar executor's
+    grouped finish (:mod:`repro.db.vectorized`), so deduplication and
+    ordering cannot diverge between arms.  DISTINCT keys on
+    ``tuple(row.values())`` *including* any ``__order__`` helper
+    columns, exactly as the row pipeline always has.
+    """
+
+    def stage(name: str):
+        return recorder.stage(name) if recorder is not None else nullcontext()
+
+    if query.distinct:
+        with stage("group"):
             seen: set[tuple] = set()
             unique = []
             for row in output:

@@ -1,0 +1,47 @@
+"""Tier-1 smoke run of the columnar execution benchmark.
+
+``benchmarks/run_columnar.py`` is executed end-to-end in miniature
+(``--smoke`` caps the size ladder and repeats) so the benchmark script
+cannot rot out from under the vectorized executor: it runs both arms
+over every workload shape and must emit a well-formed record whose arms
+returned bit-identical results at every size.  No speedup assertion
+here — tiny tables measure constant factors, not kernels; that claim
+lives in ``benchmarks/test_perf_columnar.py`` under the ``columnar``
+marker, guarded by ``_common.speedup_assertable``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def test_smoke_run_writes_valid_record(tmp_path):
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from run_columnar import main
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+    output = tmp_path / "BENCH_columnar.json"
+    exit_code = main(["--smoke", "--output", str(output)])
+    assert exit_code == 0
+
+    record = json.loads(output.read_text(encoding="utf-8"))
+    assert record["benchmark"] == "columnar_execution"
+    # The headline property: the columnar arm is bit-identical to the
+    # planned row arm on every workload at every size.
+    assert record["identical"] is True
+    assert record["workloads"], "no workloads recorded"
+    for workload in record["workloads"].values():
+        assert workload["identical"] is True
+        assert len(workload["scaling"]) == len(record["sizes"])
+        for point in workload["scaling"]:
+            assert point["identical"] is True
+            assert point["row_seconds"] >= 0
+            assert point["columnar_seconds"] >= 0
+        # crossover_rows is either absent from the ladder (None) or one
+        # of the measured sizes.
+        crossover = workload["crossover_rows"]
+        assert crossover is None or crossover in record["sizes"]

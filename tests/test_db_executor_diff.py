@@ -1,8 +1,11 @@
-"""Differential property tests: planned execution ≡ naive execution.
+"""Differential property tests: naive ≡ planned ≡ columnar execution.
 
 The planner (:mod:`repro.db.planner`) claims bit-identical results —
 row values *and* row order — to the naive cross-product executor on
-every query both arms can run.  This suite checks that claim over:
+every query both arms can run, and the vectorized columnar engine
+(:mod:`repro.db.vectorized`) claims the same against the planned row
+arm even when *forced* on tables below its row-count threshold.  This
+suite checks those claims over:
 
 * the **seed corpora** of two schemas (every distinct canonical query
   the training pipeline synthesizes, with ``@JOIN`` expanded through
@@ -75,22 +78,39 @@ def corpus_queries(corpus, database):
     return queries
 
 
-def assert_arms_agree(query, database, session=None):
-    """Planned output must equal naive output whenever naive succeeds."""
+def assert_arms_agree(query, database, session=None, columnar_session=None):
+    """Planned and forced-columnar output must equal naive output
+    whenever naive succeeds; the arms must agree on errors otherwise."""
     try:
         expected = execute(query, database)
     except ExecutionError:
         # Naive refused (guard / eager predicate): the planner may
         # succeed, but any failure must stay inside the Repro
-        # exception hierarchy.
+        # exception hierarchy — and the columnar arm must mirror the
+        # planned arm exactly, success or error message alike.
         try:
-            execute_planned(query, database)
-        except ReproError:
-            pass
+            planned = execute_planned(query, database)
+        except ReproError as exc:
+            planned, planned_error = None, str(exc)
+        else:
+            planned_error = None
+        try:
+            columnar = execute_planned(query, database, columnar=True)
+        except ReproError as exc:
+            columnar, columnar_error = None, str(exc)
+        else:
+            columnar_error = None
+        assert columnar == planned, canonical_sql(query)
+        assert columnar_error == planned_error, canonical_sql(query)
         return False
     assert execute_planned(query, database) == expected, canonical_sql(query)
+    assert (
+        execute_planned(query, database, columnar=True) == expected
+    ), canonical_sql(query)
     if session is not None:
         assert session.execute(query) == expected, canonical_sql(query)
+    if columnar_session is not None:
+        assert columnar_session.execute(query) == expected, canonical_sql(query)
     return True
 
 
@@ -103,22 +123,30 @@ def test_patients_corpus_differential(patients_corpus, patients_db):
     queries = corpus_queries(patients_corpus, patients_db)
     assert len(queries) > 50
     session = ExecutorSession(patients_db)
+    columnar_session = ExecutorSession(patients_db, columnar=True)
     compared = sum(
-        assert_arms_agree(query, patients_db, session) for query in queries
+        assert_arms_agree(query, patients_db, session, columnar_session)
+        for query in queries
     )
     # The overwhelming majority of corpus queries must actually execute
-    # on both arms — the differential is vacuous otherwise.
+    # on all arms — the differential is vacuous otherwise.
     assert compared >= len(queries) * 0.9
+    # Forcing columnar on a 30-row database must actually vectorize
+    # work, not silently fall back on every step.
+    assert columnar_session.columnar_vectorized_steps > 0
 
 
 def test_geography_corpus_differential(geography_corpus, geography_db):
     queries = corpus_queries(geography_corpus, geography_db)
     assert len(queries) > 50
     session = ExecutorSession(geography_db)
+    columnar_session = ExecutorSession(geography_db, columnar=True)
     compared = sum(
-        assert_arms_agree(query, geography_db, session) for query in queries
+        assert_arms_agree(query, geography_db, session, columnar_session)
+        for query in queries
     )
     assert compared >= len(queries) * 0.9
+    assert columnar_session.columnar_vectorized_steps > 0
 
 
 def test_geography_corpus_has_real_joins(geography_corpus, geography_db):
@@ -190,5 +218,6 @@ def schema_probe_queries(database):
 def test_randomized_database_differential(schema_name, seed):
     database = populate(load_schema(schema_name), rows_per_table=25, seed=seed)
     session = ExecutorSession(database)
+    columnar_session = ExecutorSession(database, columnar=True)
     for query in schema_probe_queries(database):
-        assert_arms_agree(query, database, session)
+        assert_arms_agree(query, database, session, columnar_session)
