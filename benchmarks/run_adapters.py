@@ -1,0 +1,217 @@
+"""Backend adapter benchmark — writes ``BENCH_adapters.json``.
+
+Two questions, one record:
+
+* **Execution latency** — how the sqlite adapter's compiled-SQL path
+  (:mod:`repro.adapters.sqlite3_adapter`) compares to the in-memory
+  reference engine behind the same :class:`~repro.adapters.BackendAdapter`
+  protocol, over representative query shapes (scan+top-k, single-table
+  GROUP BY, FK join aggregate, DISTINCT projection) at a ladder of
+  database sizes.  Both arms run uncached and their normalized results
+  are property-checked ``==`` at every size before timings are
+  reported (the cross-backend contract), recorded per point as
+  ``identical``.
+* **Introspection throughput** — the pluggability story end to end:
+  starting from a populated sqlite *file*, how long ``introspect()``
+  takes to rebuild a :class:`~repro.schema.Schema` and how long the
+  training pipeline takes to synthesize a corpus from that schema
+  (pairs/sec), per built-in schema.
+
+There is no speedup acceptance bar: the sqlite arm pays per-query SQL
+compilation and engine round-trips by design.  The record documents
+the cost of plugging in a real engine; the hard gate (bit-identical
+results) is asserted here and in ``tests/test_adapters_differential.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_adapters.py [--smoke]
+        [--sizes 25,100,400] [--repeats 3]
+        [--output BENCH_adapters.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.adapters import MemoryAdapter, SqliteAdapter
+from repro.core import GenerationConfig, TrainingPipeline
+from repro.db import populate
+from repro.db.planner import ExecutorSession
+from repro.schema import load_schema
+from repro.sql.parser import parse
+
+SEED = 29
+
+#: (name, sql) over the retail schema's datagen population.
+WORKLOADS = (
+    (
+        "scan_topk",
+        "SELECT product_name, price FROM product WHERE price > 10 "
+        "ORDER BY price DESC LIMIT 25",
+    ),
+    (
+        "group_aggregate",
+        "SELECT category, COUNT(*), AVG(price) FROM product "
+        "GROUP BY category ORDER BY category",
+    ),
+    (
+        "join_aggregate",
+        "SELECT product.category, SUM(orders.quantity) "
+        "FROM orders, product "
+        "WHERE orders.product_id = product.product_id "
+        "GROUP BY product.category ORDER BY product.category",
+    ),
+    (
+        "distinct_projection",
+        "SELECT DISTINCT city FROM customer ORDER BY city",
+    ),
+)
+
+#: Schemas for the introspection→corpus end-to-end measurement.
+INTROSPECTION_SCHEMAS = ("patients", "geography", "retail")
+
+
+def time_arm(adapter, query, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        adapter.execute(query)
+    return time.perf_counter() - start
+
+
+def run_execution(sizes, repeats: int) -> dict:
+    workloads = {}
+    for name, sql in WORKLOADS:
+        query = parse(sql)
+        scaling = []
+        identical = True
+        for rows in sizes:
+            database = populate(load_schema("retail"), rows_per_table=rows, seed=SEED)
+            # Uncached session: repeats measure execution, not lookups.
+            memory = MemoryAdapter(ExecutorSession(database, cache_size=0))
+            with SqliteAdapter.from_database(database) as sqlite_arm:
+                point_identical = memory.execute(query) == sqlite_arm.execute(query)
+                identical = identical and point_identical
+                memory_seconds = time_arm(memory, query, repeats)
+                sqlite_seconds = time_arm(sqlite_arm, query, repeats)
+            scaling.append(
+                {
+                    "rows_per_table": rows,
+                    "identical": point_identical,
+                    "memory_seconds": round(memory_seconds, 5),
+                    "sqlite_seconds": round(sqlite_seconds, 5),
+                    "sqlite_vs_memory": round(
+                        sqlite_seconds / memory_seconds, 2
+                    )
+                    if memory_seconds > 0
+                    else 0.0,
+                }
+            )
+        workloads[name] = {
+            "workload": name,
+            "sql": sql,
+            "identical": identical,
+            "scaling": scaling,
+        }
+    return workloads
+
+
+def run_introspection(rows_per_table: int, slotfills: int, tmp_dir: Path) -> dict:
+    results = {}
+    config = GenerationConfig(size_slotfills=slotfills)
+    for schema_name in INTROSPECTION_SCHEMAS:
+        database = populate(
+            load_schema(schema_name), rows_per_table=rows_per_table, seed=SEED
+        )
+        path = tmp_dir / f"{schema_name}.db"
+        load_start = time.perf_counter()
+        SqliteAdapter.from_database(database, path=path).close()
+        load_seconds = time.perf_counter() - load_start
+
+        with SqliteAdapter(str(path)) as adapter:
+            introspect_start = time.perf_counter()
+            schema = adapter.introspect()
+            introspect_seconds = time.perf_counter() - introspect_start
+            warnings = len(adapter.last_introspection.warnings)
+
+        generate_start = time.perf_counter()
+        corpus = TrainingPipeline(schema, config, seed=1).generate()
+        generate_seconds = time.perf_counter() - generate_start
+        results[schema_name] = {
+            "rows_per_table": rows_per_table,
+            "tables": len(schema.table_names),
+            "foreign_keys": len(schema.foreign_keys),
+            "introspection_warnings": warnings,
+            "pairs": len(corpus),
+            "load_seconds": round(load_seconds, 5),
+            "introspect_seconds": round(introspect_seconds, 5),
+            "generate_seconds": round(generate_seconds, 5),
+            "pairs_per_second": round(len(corpus) / generate_seconds, 1)
+            if generate_seconds > 0
+            else 0.0,
+        }
+    return results
+
+
+def run_benchmark(sizes=None, repeats: int = 3, slotfills: int = 4, tmp_dir=None) -> dict:
+    import tempfile
+
+    sizes = list(sizes) if sizes else [25, 100, 400]
+    with tempfile.TemporaryDirectory() as fallback:
+        workloads = run_execution(sizes, repeats)
+        introspection = run_introspection(
+            rows_per_table=sizes[0],
+            slotfills=slotfills,
+            tmp_dir=Path(tmp_dir) if tmp_dir else Path(fallback),
+        )
+    return {
+        "benchmark": "backend_adapters",
+        "schema": "retail",
+        "sizes": sizes,
+        "repeats": repeats,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "identical": all(w["identical"] for w in workloads.values()),
+        "workloads": workloads,
+        "introspection": introspection,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated rows-per-table ladder (default 25,100,400)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run wired into the test suite so this script cannot rot",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_adapters.json"),
+    )
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",")] if args.sizes else None
+    slotfills = 4
+    if args.smoke:
+        sizes = [10, 25]
+        args.repeats = min(args.repeats, 1)
+        slotfills = 1
+    record = run_benchmark(sizes=sizes, repeats=args.repeats, slotfills=slotfills)
+    output = Path(args.output)
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

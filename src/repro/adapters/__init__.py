@@ -1,0 +1,51 @@
+"""Backend adapter SDK: pluggable database engines behind one protocol.
+
+DBPal's pipeline is "fully pluggable" (paper §1) only if the layers
+that execute SQL — the runtime, the eval harness, corpus synthesis, the
+CLI — are written against an engine-neutral seam.  This package is that
+seam:
+
+* :class:`BackendAdapter` — the protocol (connect / execute /
+  introspect / load, plus :class:`Capabilities` flags);
+* :class:`MemoryAdapter` — the in-memory reference engine
+  (:mod:`repro.db`) behind the protocol;
+* :class:`SqliteAdapter` — a real engine via the stdlib ``sqlite3``
+  module: DDL + bulk load, deterministic dialect-aware execution, and
+  schema introspection with ``L5xx`` diagnostics;
+* a registry (:func:`create_backend`, :data:`BACKENDS`) so callers
+  select backends by name.
+
+The differential test suite (``tests/test_adapters_differential.py``)
+holds every backend to bit-identical normalized results against the
+reference engine.
+"""
+
+from repro.adapters.base import (
+    BACKENDS,
+    BackendAdapter,
+    Capabilities,
+    backend_names,
+    create_backend,
+    normalize_rows,
+    register_backend,
+)
+from repro.adapters.memory import MemoryAdapter
+from repro.adapters.sqlite3_adapter import (
+    SqliteAdapter,
+    compile_select,
+    split_identifier,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BackendAdapter",
+    "Capabilities",
+    "MemoryAdapter",
+    "SqliteAdapter",
+    "backend_names",
+    "compile_select",
+    "create_backend",
+    "normalize_rows",
+    "register_backend",
+    "split_identifier",
+]

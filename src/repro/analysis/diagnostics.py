@@ -13,7 +13,8 @@ Code ranges by pass:
 * ``L1xx`` — SQL semantic analysis against a schema;
 * ``L2xx`` — seed-template lint;
 * ``L3xx`` — corpus audit;
-* ``L4xx`` — schema lint.
+* ``L4xx`` — schema lint;
+* ``L5xx`` — backend schema introspection (:mod:`repro.adapters`).
 """
 
 from __future__ import annotations
@@ -79,6 +80,13 @@ LINT_CODES: dict[str, tuple[Severity, str]] = {
     "L402": (Severity.WARNING, "foreign key target is not a primary key"),
     "L403": (Severity.WARNING, "ambiguous NL phrase within a table"),
     "L404": (Severity.WARNING, "table unreachable in the join graph"),
+    # Backend introspection --------------------------------------------
+    "L501": (Severity.ERROR, "introspected identifier is not usable in the schema model"),
+    "L502": (Severity.WARNING, "identifier yields no NL-splittable annotation"),
+    "L503": (Severity.ERROR, "stored values clash with the declared column type"),
+    "L504": (Severity.WARNING, "composite foreign key cannot be represented; edge dropped"),
+    "L505": (Severity.WARNING, "unrecognized declared type mapped by affinity"),
+    "L506": (Severity.ERROR, "database contains no introspectable tables"),
 }
 
 

@@ -19,11 +19,22 @@ Commands:
 * ``benchmark`` — evaluate a checkpoint on the Patients benchmark;
 * ``lint``      — run the static analyzer (:mod:`repro.analysis`) over
   schemas and seed templates (default), or over a generated corpus
-  file (``--corpus PATH``).  Exit status: 0 clean, 4 findings
-  (errors; with ``--strict`` warnings count too), 1 internal error;
+  file (``--corpus PATH``; ``--introspect DB`` resolves the corpus
+  against a live sqlite database's schema).  Exit status: 0 clean, 4
+  findings (errors; with ``--strict`` warnings count too), 1 internal
+  error;
+* ``introspect`` — read a sqlite database file into a schema
+  (:mod:`repro.adapters`), printing tables/columns/keys and any
+  ``L5xx`` introspection diagnostics;
 * ``db explain`` — show the planner's execution plan for a SQL query
   against a populated sample database (``--execute`` also runs it and
-  prints per-stage timings).
+  prints per-stage timings; ``--backend sqlite`` compiles for and runs
+  on the sqlite adapter instead).
+
+``generate``/``train`` normally name a built-in schema; ``generate
+--introspect path.db`` builds the schema from a live database instead,
+which is the paper's pluggability story end to end: point the pipeline
+at a database, get a corpus.
 """
 
 from __future__ import annotations
@@ -111,7 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("schemas", help="list built-in schemas")
 
     generate = sub.add_parser("generate", help="synthesize a training corpus")
-    generate.add_argument("schema", help="schema name (see `schemas`)")
+    generate.add_argument(
+        "schema",
+        nargs="?",
+        default=None,
+        help="schema name (see `schemas`); omit with --introspect",
+    )
+    generate.add_argument(
+        "--introspect",
+        metavar="DB",
+        default=None,
+        help="build the schema from a live sqlite database file "
+        "instead of a built-in schema",
+    )
     generate.add_argument("--output", required=True, help="output path")
     generate.add_argument(
         "--format", choices=("jsonl", "tsv"), default="jsonl"
@@ -238,6 +261,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="warnings also count as findings (exit 4)",
     )
+    lint.add_argument(
+        "--introspect",
+        metavar="DB",
+        default="",
+        help="resolve --corpus pairs against a sqlite database's "
+        "introspected schema",
+    )
+
+    introspect = sub.add_parser(
+        "introspect",
+        help="read a sqlite database file into a schema",
+    )
+    introspect.add_argument("database", help="path to a sqlite database file")
+    introspect.add_argument(
+        "--name", default="", help="schema name (default: from file name)"
+    )
+    introspect.add_argument(
+        "--json", action="store_true", help="machine-readable schema dump"
+    )
 
     db = sub.add_parser("db", help="database/executor utilities")
     db_sub = db.add_subparsers(dest="db_command", required=True)
@@ -262,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="vectorized execution arm: auto (row-count threshold), "
         "on (force), off (row path only)",
     )
+    db_explain.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="execution backend: memory (planned reference executor) "
+        "or sqlite (compiled dialect SQL on the sqlite3 adapter)",
+    )
     return parser
 
 
@@ -271,6 +320,38 @@ def cmd_schemas(_args) -> int:
         tables = ", ".join(schema.table_names)
         print(f"{name:12s} tables: {tables}")
     return 0
+
+
+def _introspected_schema(path: str, name: str = ""):
+    """Introspect a sqlite database file, printing any warnings.
+
+    Error-severity findings raise ``IntrospectionError`` inside the
+    adapter; ``main`` maps that to exit 1 with the diagnostics in the
+    message.
+    """
+    from repro.adapters import SqliteAdapter
+    from repro.errors import IntrospectionError
+
+    adapter = SqliteAdapter(path, schema_name=name or None)
+    try:
+        try:
+            schema = adapter.introspect()
+        except IntrospectionError as exc:
+            for finding in exc.diagnostics:
+                print(
+                    f"introspect: [{finding.code}] {finding.message}",
+                    file=sys.stderr,
+                )
+            raise
+        report = adapter.last_introspection
+    finally:
+        adapter.close()
+    for finding in report.diagnostics:
+        print(
+            f"introspect: [{finding.code}] {finding.message}",
+            file=sys.stderr,
+        )
+    return schema
 
 
 def cmd_generate(args) -> int:
@@ -283,7 +364,21 @@ def cmd_generate(args) -> int:
     from repro.core.corpus_io import save_jsonl, save_tsv
     from repro.perf import PerfRecorder
 
-    schema = load_schema(args.schema)
+    if bool(args.schema) == bool(args.introspect):
+        print(
+            "error: give exactly one schema source — a built-in schema "
+            "name or --introspect DB",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    if args.introspect:
+        schema = _introspected_schema(args.introspect)
+        print(
+            f"introspected schema {schema.name!r} "
+            f"({len(schema.table_names)} table(s)) from {args.introspect}"
+        )
+    else:
+        schema = load_schema(args.schema)
     pipeline = TrainingPipeline(
         schema,
         _config_from(args),
@@ -530,11 +625,28 @@ def cmd_lint(args) -> int:
         schemas = all_schemas()
 
     report = LintReport()
+    if args.introspect and not args.corpus:
+        print(
+            "error: --introspect requires --corpus PATH", file=sys.stderr
+        )
+        return EXIT_ERROR
     if args.corpus:
-        default_schema = schemas[0] if args.schema else None
+        named_schemas = None
+        if args.introspect:
+            live = _introspected_schema(args.introspect)
+            # The live schema is authoritative for pairs naming it and
+            # the fallback for pairs naming nothing resolvable.
+            named_schemas = {live.name: live}
+            default_schema = live
+        else:
+            default_schema = schemas[0] if args.schema else None
         try:
             report.extend(
-                audit_corpus(args.corpus, default_schema=default_schema)
+                audit_corpus(
+                    args.corpus,
+                    schemas=named_schemas,
+                    default_schema=default_schema,
+                )
             )
         except OSError as exc:
             print(f"error: cannot read corpus: {exc}", file=sys.stderr)
@@ -572,6 +684,8 @@ def cmd_db(args) -> int:
         except SqlError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+    if args.backend == "sqlite":
+        return _db_explain_sqlite(query, database, execute=args.execute)
     print(explain(query, database))
     if args.execute:
         recorder = PerfRecorder()
@@ -600,6 +714,89 @@ def cmd_db(args) -> int:
     return 0
 
 
+def _db_explain_sqlite(query, database, execute: bool) -> int:
+    """Show the sqlite adapter's compiled SQL and query plan."""
+    import time
+
+    from repro.adapters import SqliteAdapter
+    from repro.adapters.sqlite3_adapter import compile_select
+
+    with SqliteAdapter.from_database(database) as adapter:
+        extents = adapter._extents(database.schema.table_names)
+        compiled = compile_select(query, database.schema, extents)
+        print("compiled SQL (sqlite dialect):")
+        print(f"  {compiled.sql}")
+        if compiled.client_distinct:
+            print("  (DISTINCT/LIMIT applied client-side)")
+        plan = adapter.connection.execute(
+            f"EXPLAIN QUERY PLAN {compiled.sql}"
+        ).fetchall()
+        print("sqlite query plan:")
+        for row in plan:
+            print(f"  {row[-1]}")
+        if execute:
+            start = time.perf_counter()
+            rows = adapter.execute(query)
+            elapsed = time.perf_counter() - start
+            print(f"\n{len(rows)} row(s) in {elapsed * 1000:.2f} ms")
+            for row in rows[:20]:
+                print(" ", row)
+            if len(rows) > 20:
+                print(f"  ... ({len(rows) - 20} more)")
+    return 0
+
+
+def cmd_introspect(args) -> int:
+    import json as json_module
+
+    schema = _introspected_schema(args.database, name=args.name)
+    if args.json:
+        dump = {
+            "name": schema.name,
+            "tables": [
+                {
+                    "name": table.name,
+                    "annotation": table.annotation,
+                    "columns": [
+                        {
+                            "name": column.name,
+                            "type": column.ctype.value,
+                            "primary_key": column.primary_key,
+                            "annotation": column.annotation,
+                        }
+                        for column in table.columns
+                    ],
+                }
+                for table in schema.tables
+            ],
+            "foreign_keys": [
+                {
+                    "table": fk.table,
+                    "column": fk.column,
+                    "ref_table": fk.ref_table,
+                    "ref_column": fk.ref_column,
+                }
+                for fk in schema.foreign_keys
+            ],
+        }
+        print(json_module.dumps(dump, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(f"schema {schema.name!r} ({len(schema.table_names)} table(s))")
+    for table in schema.tables:
+        print(f"\n{table.name}  [{table.annotation}]")
+        for column in table.columns:
+            flags = " pk" if column.primary_key else ""
+            print(
+                f"  {column.name:24s} {column.ctype.value}{flags}"
+                f"  [{column.annotation}]"
+            )
+    if schema.foreign_keys:
+        print("\nforeign keys:")
+        for fk in schema.foreign_keys:
+            print(f"  {fk}")
+    return EXIT_OK
+
+
 _COMMANDS = {
     "schemas": cmd_schemas,
     "generate": cmd_generate,
@@ -608,6 +805,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "benchmark": cmd_benchmark,
     "lint": cmd_lint,
+    "introspect": cmd_introspect,
     "db": cmd_db,
 }
 

@@ -39,6 +39,10 @@ E_TIMEOUT = "E_TIMEOUT"
 E_MODEL_UNAVAILABLE = "E_MODEL_UNAVAILABLE"
 E_UNTRANSLATABLE = "E_UNTRANSLATABLE"
 
+#: Backend adapters ---------------------------------------------------
+E_BACKEND = "E_BACKEND"
+E_DIALECT = "E_DIALECT"
+
 #: code -> human description.  The single registry; every code used in
 #: a quarantine report, manifest, or ServingResponse appears here.
 ERROR_CODES: dict[str, str] = {
@@ -55,6 +59,8 @@ ERROR_CODES: dict[str, str] = {
     E_TIMEOUT: "no answer within the request deadline",
     E_MODEL_UNAVAILABLE: "translation model unavailable or degraded",
     E_UNTRANSLATABLE: "input cannot be translated",
+    E_BACKEND: "backend adapter failed to connect, execute, or introspect",
+    E_DIALECT: "construct is not expressible in the target SQL dialect",
 }
 
 #: Serving wire codes (``ServiceFailure.code``, kept short for the API
@@ -65,6 +71,8 @@ _SERVING_WIRE_CODES = {
     "timeout": E_TIMEOUT,
     "model_unavailable": E_MODEL_UNAVAILABLE,
     "untranslatable": E_UNTRANSLATABLE,
+    "backend_error": E_BACKEND,
+    "unsupported_dialect": E_DIALECT,
 }
 
 
@@ -174,6 +182,43 @@ class FaultInjected(ReproError):
     """
 
     code = E_FAULT_INJECTED
+
+
+class BackendError(ReproError):
+    """A backend adapter failed to connect, execute, or bulk-load.
+
+    Raised by :mod:`repro.adapters` implementations; the underlying
+    driver exception (e.g. ``sqlite3.Error``) is chained as the cause so
+    callers can still inspect engine-specific detail, while anything
+    that persists the failure matches on :data:`E_BACKEND`.
+    """
+
+    code = E_BACKEND
+
+
+class IntrospectionError(BackendError):
+    """A live database could not be introspected into a valid Schema.
+
+    Carries the introspection diagnostics (``L5xx`` codes from
+    :mod:`repro.analysis.diagnostics`) that explain *why* — a backend
+    must either produce a correct :class:`~repro.schema.Schema` or fail
+    with named diagnostics, never return a silently wrong one.
+    """
+
+    def __init__(self, *args, diagnostics=(), code: str | None = None) -> None:
+        super().__init__(*args, code=code)
+        self.diagnostics = list(diagnostics)
+
+
+class DialectError(SqlError):
+    """A query uses a construct the target SQL dialect cannot express.
+
+    Also raised for lookups of unregistered dialects.  Distinct from
+    :class:`BackendError`: the adapter never reached the engine — the
+    emitter refused first.
+    """
+
+    code = E_DIALECT
 
 
 class GracefulExit(ReproError):

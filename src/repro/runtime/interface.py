@@ -14,7 +14,7 @@ from repro.core.config import GenerationConfig
 from repro.core.pipeline import TrainingCorpus, TrainingPipeline
 from repro.db.planner import ExecutorSession
 from repro.db.storage import Database, Row
-from repro.errors import TranslationError
+from repro.errors import BackendError, TranslationError
 from repro.neural.base import TranslationModel
 from repro.runtime.postprocess import PostProcessor, ProcessedQuery
 from repro.runtime.preprocess import PreprocessedQuery, Preprocessor
@@ -48,9 +48,22 @@ class DBPal:
     model:
         A fitted :class:`~repro.neural.base.TranslationModel`; if
         omitted, call :meth:`train` first.
+    backend:
+        Execution backend for :meth:`query`: ``None`` (default) runs
+        the in-memory planned executor directly, ``"memory"``/
+        ``"sqlite"`` select a :mod:`repro.adapters` backend by name
+        (sqlite mirrors ``database`` into an in-process engine), and a
+        :class:`~repro.adapters.BackendAdapter` instance is used as-is.
+        Adapter-backed results are normalized
+        (:func:`repro.adapters.normalize_rows`).
     """
 
-    def __init__(self, database: Database, model: TranslationModel | None = None) -> None:
+    def __init__(
+        self,
+        database: Database,
+        model: TranslationModel | None = None,
+        backend=None,
+    ) -> None:
         self.database = database
         self.model = model
         self.preprocessor = Preprocessor(database)
@@ -60,6 +73,23 @@ class DBPal:
         # value index), and a bounded result cache for repeat queries.
         self.executor = ExecutorSession(
             database, value_index=self.preprocessor.value_index
+        )
+        self.backend = self._resolve_backend(backend)
+
+    def _resolve_backend(self, backend):
+        from repro.adapters import BackendAdapter, MemoryAdapter, SqliteAdapter
+
+        if backend is None:
+            return None
+        if isinstance(backend, BackendAdapter):
+            return backend
+        if backend == "memory":
+            return MemoryAdapter(self.executor)
+        if backend == "sqlite":
+            return SqliteAdapter.from_database(self.database)
+        raise BackendError(
+            f"unknown backend {backend!r}; expected 'memory', 'sqlite', "
+            "or a BackendAdapter instance"
         )
 
     # ------------------------------------------------------------------
@@ -106,6 +136,8 @@ class DBPal:
             raise TranslationError(
                 f"could not translate {nl!r} (model output: {result.model_output!r})"
             )
+        if self.backend is not None:
+            return self.backend.execute(result.query, max_rows=max_rows)
         return self.executor.execute(result.query, max_rows=max_rows)
 
     def explain(self, nl: str) -> str:

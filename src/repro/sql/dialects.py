@@ -1,0 +1,129 @@
+"""SQL dialect registry: the per-backend surface-syntax knobs.
+
+The printer (:mod:`repro.sql.printer`) renders one AST into many SQL
+surfaces; everything that varies between engines is captured here as a
+:class:`Dialect` value — identifier quoting, string-literal escaping,
+LIMIT placement, and the spelling table for date/string functions —
+so adding a backend means registering a dialect, not forking the
+printer.
+
+Two dialects ship:
+
+* ``default`` — the canonical dialect of the reproduction.  Its output
+  is the repo-wide exact-match surface (training pairs, model output,
+  benchmark gold queries), so it must stay byte-stable.
+* ``sqlite``  — what :class:`repro.adapters.SqliteAdapter` feeds to a
+  real ``sqlite3`` engine.
+
+Both spell the supported subset identically except for quoting edge
+cases; the registry still earns its keep because emission differences
+(``TOP n`` vs ``LIMIT n``, ``GETDATE()`` vs ``DATE('now')``) are data,
+demonstrated by the test suite registering a T-SQL-flavoured dialect
+without touching the printer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import DialectError
+from repro.sql.lexer import KEYWORDS
+
+#: Identifiers matching this render bare; anything else must be quoted.
+_PLAIN_IDENTIFIER = re.compile(r"[a-z_][a-z0-9_]*$")
+
+#: How a dialect places the row-limit clause.
+LIMIT_SUFFIX = "limit"  # ... ORDER BY x LIMIT n
+LIMIT_TOP = "top"  # SELECT TOP n ... (T-SQL style)
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """One SQL surface syntax.
+
+    ``function_spellings`` maps canonical function names (our AST's
+    aggregate names plus the date/string helpers a backend may need) to
+    the dialect's spelling; names not present pass through unchanged.
+    """
+
+    name: str
+    identifier_quote: str = '"'
+    limit_style: str = LIMIT_SUFFIX
+    #: Words that must be quoted when used as identifiers.  Defaults to
+    #: the lexer's keyword set so printed SQL always re-parses.
+    reserved_words: frozenset[str] = KEYWORDS
+    function_spellings: Mapping[str, str] = field(default_factory=dict)
+
+    def quote_identifier(self, name: str) -> str:
+        """Always-quoted form of ``name`` (quote char doubled inside)."""
+        quote = self.identifier_quote
+        return quote + name.replace(quote, quote * 2) + quote
+
+    def identifier(self, name: str) -> str:
+        """``name`` as this dialect renders it — bare when unambiguous,
+        quoted when it collides with a reserved word or contains
+        characters the lexer would not read back as one identifier."""
+        if name.lower() in self.reserved_words or not _PLAIN_IDENTIFIER.match(name):
+            return self.quote_identifier(name)
+        return name
+
+    def string_literal(self, value: str) -> str:
+        """``value`` as a single-quoted SQL string literal.
+
+        Single quotes are doubled; backslashes are *not* escape
+        characters in standard SQL (nor in sqlite), so they pass
+        through verbatim and round-trip the lexer unchanged.
+        """
+        return "'" + value.replace("'", "''") + "'"
+
+    def function(self, name: str) -> str:
+        """The dialect's spelling of canonical function ``name``."""
+        return self.function_spellings.get(name, name)
+
+
+#: Date/string helper spellings a real backend needs beyond the AST's
+#: aggregate subset.  Keys are the canonical names; emitters translate
+#: through :meth:`Dialect.function` so new backends only add a table.
+_SQLITE_FUNCTIONS = {
+    "CURRENT_DATE": "DATE('now')",
+    "SUBSTRING": "SUBSTR",
+    "LENGTH": "LENGTH",
+    "LOWER": "LOWER",
+    "UPPER": "UPPER",
+    "YEAR": "CAST(STRFTIME('%Y', ?) AS INTEGER)",
+}
+
+DEFAULT_DIALECT = Dialect(name="default")
+
+SQLITE_DIALECT = Dialect(
+    name="sqlite",
+    function_spellings=_SQLITE_FUNCTIONS,
+)
+
+#: The registry.  Mutated only through :func:`register_dialect`.
+DIALECTS: dict[str, Dialect] = {
+    DEFAULT_DIALECT.name: DEFAULT_DIALECT,
+    SQLITE_DIALECT.name: SQLITE_DIALECT,
+}
+
+
+def register_dialect(dialect: Dialect, replace: bool = False) -> Dialect:
+    """Add ``dialect`` to the registry (``replace`` to overwrite)."""
+    if dialect.name in DIALECTS and not replace:
+        raise DialectError(f"dialect {dialect.name!r} is already registered")
+    DIALECTS[dialect.name] = dialect
+    return dialect
+
+
+def get_dialect(dialect: "str | Dialect") -> Dialect:
+    """Resolve a dialect name (or pass a :class:`Dialect` through)."""
+    if isinstance(dialect, Dialect):
+        return dialect
+    try:
+        return DIALECTS[dialect]
+    except KeyError:
+        raise DialectError(
+            f"unknown SQL dialect {dialect!r}; registered: {sorted(DIALECTS)}"
+        ) from None

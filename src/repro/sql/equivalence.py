@@ -41,9 +41,12 @@ class EquivalenceChecker:
     Parameters
     ----------
     databases:
-        Sample databases (``repro.db.Database``) to probe.  More
-        databases means a sharper execution check.  When empty, only
-        the structural check runs.
+        Probe arms: ``repro.db.Database`` instances (wrapped in cached
+        executor sessions), pre-built sessions, or
+        :class:`repro.adapters.BackendAdapter` instances — so execution
+        match can be scored on a real engine (e.g. the sqlite backend)
+        as well as the reference one.  More probes means a sharper
+        execution check.  When empty, only the structural check runs.
     recorder:
         Optional :class:`~repro.perf.PerfRecorder` shared by every
         probe session; the eval harness passes one so its summary can
@@ -71,11 +74,12 @@ class EquivalenceChecker:
     def _probe_sessions(self) -> list:
         """Build one cached executor session per probe database."""
         if self._sessions is None:
-            from repro.db.planner import ExecutorSession  # lazy: db depends on sql
+            from repro.adapters.base import BackendAdapter  # lazy imports:
+            from repro.db.planner import ExecutorSession  # db depends on sql
 
             self._sessions = [
                 database
-                if isinstance(database, ExecutorSession)
+                if isinstance(database, (ExecutorSession, BackendAdapter))
                 else ExecutorSession(
                     database,
                     cache_size=self._cache_size,
@@ -110,8 +114,9 @@ class EquivalenceChecker:
     def perf_report(self) -> dict:
         """Executor stage timings + cache counters over all probes."""
         sessions = self._sessions or []
-        hits = sum(s.cache_hits for s in sessions)
-        misses = sum(s.cache_misses for s in sessions)
+        # Adapter probes have no result cache; count them as zero.
+        hits = sum(getattr(s, "cache_hits", 0) for s in sessions)
+        misses = sum(getattr(s, "cache_misses", 0) for s in sessions)
         total = hits + misses
         return {
             "stages": self.recorder.report(),

@@ -1,9 +1,12 @@
 """Tokenizer for the SQL subset.
 
 Produces a flat list of :class:`Token` objects.  Keywords are
-case-insensitive; identifiers are lower-cased.  Placeholders follow the
-paper's notation: ``@NAME`` or ``@TABLE.NAME`` (and the special
-``@JOIN`` FROM placeholder).
+case-insensitive; bare identifiers are lower-cased, while
+double-quoted identifiers (``"order"``, with ``""`` escaping an
+embedded quote) are taken verbatim and never promoted to keywords —
+this is how the printer round-trips reserved-word names.  Placeholders
+follow the paper's notation: ``@NAME`` or ``@TABLE.NAME`` (and the
+special ``@JOIN`` FROM placeholder).
 """
 
 from __future__ import annotations
@@ -80,6 +83,26 @@ def tokenize(sql: str) -> list[Token]:
                 chunks.append(sql[end])
                 end += 1
             tokens.append(Token(TokenType.STRING, "".join(chunks), pos, end + 1))
+            pos = end + 1
+            continue
+        if char == '"':
+            end = pos + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise SqlLexError("unterminated quoted identifier", pos)
+                if sql[end] == '"':
+                    if end + 1 < length and sql[end + 1] == '"':
+                        chunks.append('"')
+                        end += 2
+                        continue
+                    break
+                chunks.append(sql[end])
+                end += 1
+            name = "".join(chunks)
+            if not name:
+                raise SqlLexError("empty quoted identifier", pos)
+            tokens.append(Token(TokenType.IDENT, name, pos, end + 1))
             pos = end + 1
             continue
         if char == "@":

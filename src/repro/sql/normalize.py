@@ -173,9 +173,9 @@ def _sorted_unique(preds: list[Predicate]) -> list[Predicate]:
 
 
 def _pred_key(pred: Predicate) -> str:
-    from repro.sql.printer import _pred as render  # reuse the printer
+    from repro.sql.printer import predicate_to_sql  # reuse the printer
 
-    return render(pred)
+    return predicate_to_sql(pred)
 
 
 def canonical_sql(query: Query) -> str:

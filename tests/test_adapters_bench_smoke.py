@@ -1,0 +1,53 @@
+"""Tier-1 smoke run of the backend adapter benchmark.
+
+``benchmarks/run_adapters.py`` is executed end-to-end in miniature
+(``--smoke`` caps the size ladder, repeats, and corpus size) so the
+benchmark script cannot rot out from under the adapter SDK: it runs
+the memory and sqlite arms over every workload shape, introspects
+real database files back into schemas, and must emit a well-formed
+record whose arms returned ``==``-identical normalized results at
+every size.  No latency assertion — the sqlite arm's cost profile is
+documentation, not a gate; the correctness gate is ``identical``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+pytestmark = pytest.mark.adapters
+
+
+def test_smoke_run_writes_valid_record(tmp_path):
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from run_adapters import main
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+    output = tmp_path / "BENCH_adapters.json"
+    exit_code = main(["--smoke", "--output", str(output)])
+    assert exit_code == 0
+
+    record = json.loads(output.read_text(encoding="utf-8"))
+    assert record["benchmark"] == "backend_adapters"
+    # The headline property: the sqlite arm is ==-identical to the
+    # memory arm on every workload at every size.
+    assert record["identical"] is True
+    assert record["workloads"], "no workloads recorded"
+    for workload in record["workloads"].values():
+        assert workload["identical"] is True
+        assert len(workload["scaling"]) == len(record["sizes"])
+        for point in workload["scaling"]:
+            assert point["identical"] is True
+            assert point["memory_seconds"] >= 0
+            assert point["sqlite_seconds"] >= 0
+    # The introspection leg touched every schema and produced pairs.
+    assert set(record["introspection"]) == {"patients", "geography", "retail"}
+    for leg in record["introspection"].values():
+        assert leg["tables"] >= 1
+        assert leg["pairs"] > 0
+        assert leg["introspect_seconds"] >= 0

@@ -1,0 +1,238 @@
+"""Sqlite introspection edge cases: correct Schema or named diagnostic.
+
+The contract (:meth:`repro.adapters.SqliteAdapter.introspect`) is that
+introspection either returns a faithful :class:`~repro.schema.Schema`
+or raises :class:`~repro.errors.IntrospectionError` carrying ``L5xx``
+diagnostics — never a silently wrong schema.  Each test hand-writes
+DDL for one judgement call and pins which side of that line it lands
+on.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.adapters import SqliteAdapter, split_identifier
+from repro.errors import IntrospectionError
+from repro.schema.column import ColumnType
+
+pytestmark = pytest.mark.adapters
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "probe.db")
+
+
+def build(path, *statements):
+    conn = sqlite3.connect(path)
+    with conn:
+        for statement in statements:
+            conn.execute(statement)
+    conn.close()
+
+
+def introspect(path):
+    with SqliteAdapter(path) as adapter:
+        schema = adapter.introspect()
+        report = adapter.last_introspection
+    return schema, report
+
+
+# ----------------------------------------------------------------------
+# Structures the schema model can represent faithfully
+# ----------------------------------------------------------------------
+
+
+def test_composite_primary_key_marks_every_member(db_path):
+    build(
+        db_path,
+        "CREATE TABLE enrollment (student_id INT, course_id INT, "
+        "grade REAL, PRIMARY KEY (student_id, course_id))",
+    )
+    schema, report = introspect(db_path)
+    table = schema.table("enrollment")
+    assert [c.name for c in table.columns if c.primary_key] == [
+        "student_id",
+        "course_id",
+    ]
+    assert not table.column("grade").primary_key
+    assert report.ok
+
+
+def test_self_referencing_foreign_key_survives(db_path):
+    build(
+        db_path,
+        "CREATE TABLE employees (employee_id INT PRIMARY KEY, name TEXT, "
+        "manager_id INT REFERENCES employees(employee_id))",
+    )
+    schema, report = introspect(db_path)
+    assert [str(fk) for fk in schema.foreign_keys] == [
+        "employees.manager_id -> employees.employee_id"
+    ]
+    assert report.ok
+
+
+def test_unnamed_fk_target_resolves_to_referenced_primary_key(db_path):
+    # `REFERENCES parent` with no column list: sqlite reports to=None
+    # and the edge must land on the parent's primary key.
+    build(
+        db_path,
+        "CREATE TABLE parent (parent_id INT PRIMARY KEY, label TEXT)",
+        "CREATE TABLE child (child_id INT PRIMARY KEY, "
+        "parent_id INT REFERENCES parent)",
+    )
+    schema, report = introspect(db_path)
+    assert [str(fk) for fk in schema.foreign_keys] == [
+        "child.parent_id -> parent.parent_id"
+    ]
+    assert report.ok
+
+
+def test_empty_table_introspects_with_no_sampling_noise(db_path):
+    build(db_path, "CREATE TABLE visits (visit_id INT, note TEXT)")
+    schema, report = introspect(db_path)
+    table = schema.table("visits")
+    assert table.column("visit_id").ctype is ColumnType.INTEGER
+    assert table.column("note").ctype is ColumnType.TEXT
+    assert report.ok
+
+
+def test_declared_types_map_through_affinity(db_path):
+    build(
+        db_path,
+        "CREATE TABLE readings (taken_at DATETIME, level DOUBLE, "
+        "body VARCHAR(40), hits BIGINT)",
+    )
+    schema, _ = introspect(db_path)
+    table = schema.table("readings")
+    assert table.column("taken_at").ctype is ColumnType.DATE
+    assert table.column("level").ctype is ColumnType.FLOAT
+    assert table.column("body").ctype is ColumnType.TEXT
+    assert table.column("hits").ctype is ColumnType.INTEGER
+
+
+# ----------------------------------------------------------------------
+# Judgement calls that surface as warnings (schema still usable)
+# ----------------------------------------------------------------------
+
+
+def test_unsplittable_identifier_warns_l502_and_keeps_raw_name(db_path):
+    build(db_path, 'CREATE TABLE "_1" ("_2" INT, label TEXT)')
+    schema, report = introspect(db_path)
+    assert "L502" in report.codes()
+    assert report.ok  # warning, not error
+    table = schema.table("_1")
+    assert table.annotation == "_1"
+    assert table.column("_2").annotation == "_2"
+    # Splittable neighbours still get proper phrases.
+    assert table.column("label").annotation == "label"
+
+
+def test_composite_foreign_key_dropped_with_l504(db_path):
+    build(
+        db_path,
+        "CREATE TABLE sections (course INT, term INT, "
+        "PRIMARY KEY (course, term))",
+        "CREATE TABLE meetings (course INT, term INT, room TEXT, "
+        "FOREIGN KEY (course, term) REFERENCES sections (course, term))",
+    )
+    schema, report = introspect(db_path)
+    assert schema.foreign_keys == ()
+    assert "L504" in report.codes()
+    assert report.ok
+
+
+def test_fk_to_table_without_primary_key_dropped_with_l504(db_path):
+    build(
+        db_path,
+        "CREATE TABLE logs (entry TEXT)",
+        "CREATE TABLE marks (mark_id INT PRIMARY KEY, "
+        "entry TEXT REFERENCES logs)",
+    )
+    schema, report = introspect(db_path)
+    assert schema.foreign_keys == ()
+    assert "L504" in report.codes()
+    assert report.ok
+
+
+def test_unrecognized_declared_type_warns_l505(db_path):
+    build(db_path, "CREATE TABLE blobs (payload STUFF, price NUMERIC)")
+    schema, report = introspect(db_path)
+    assert "L505" in report.codes()
+    assert report.ok
+    table = schema.table("blobs")
+    assert table.column("payload").ctype is ColumnType.TEXT
+    assert table.column("price").ctype is ColumnType.FLOAT
+
+
+# ----------------------------------------------------------------------
+# Hard failures: IntrospectionError with named diagnostics
+# ----------------------------------------------------------------------
+
+
+def assert_fails_with(path, code):
+    with SqliteAdapter(path) as adapter:
+        with pytest.raises(IntrospectionError) as excinfo:
+            adapter.introspect()
+        assert code in adapter.last_introspection.codes()
+    assert any(d.code == code for d in excinfo.value.diagnostics)
+
+
+def test_empty_database_raises_l506(db_path):
+    sqlite3.connect(db_path).close()  # creates a zero-table file
+    assert_fails_with(db_path, "L506")
+
+
+def test_type_affinity_mismatch_raises_l503(db_path):
+    build(
+        db_path,
+        "CREATE TABLE samples (amount INT)",
+        "INSERT INTO samples VALUES (1)",
+        "INSERT INTO samples VALUES ('twelve')",
+    )
+    assert_fails_with(db_path, "L503")
+
+
+def test_unusable_column_name_raises_l501(db_path):
+    build(db_path, 'CREATE TABLE notes ("note body" TEXT)')
+    assert_fails_with(db_path, "L501")
+
+
+def test_unusable_table_name_raises_l501(db_path):
+    # sqlite itself rejects case-colliding duplicates, so the L501
+    # collision arm is unreachable from valid DDL; the unusable-name
+    # arm is the one real databases hit.
+    build(db_path, 'CREATE TABLE "daily report" (total INT)')
+    assert_fails_with(db_path, "L501")
+
+
+def test_missing_file_directory_raises_backend_error(tmp_path):
+    from repro.errors import BackendError
+
+    bad = str(tmp_path / "nope" / "missing.db")
+    with pytest.raises(BackendError):
+        SqliteAdapter(bad).connect()
+
+
+# ----------------------------------------------------------------------
+# NL annotation synthesis
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("identifier", "phrase"),
+    [
+        ("patient_name", "patient name"),
+        ("patientName", "patient name"),
+        ("HTTPCode2xx", "httpcode 2xx"),
+        ("address1", "address"),
+        ("__x__", "x"),
+        ("_123", ""),
+        ("", ""),
+    ],
+)
+def test_split_identifier(identifier, phrase):
+    assert split_identifier(identifier) == phrase

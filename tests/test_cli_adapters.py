@@ -1,0 +1,223 @@
+"""CLI threading of the adapter SDK: ``repro introspect``,
+``repro generate --introspect``, ``repro lint --introspect``, and
+``repro db explain --backend sqlite``.
+
+The end-to-end acceptance path lives here: datagen → sqlite file →
+introspected schema → generated corpus → ``repro lint`` with zero
+errors, i.e. the paper's "point the pipeline at a database, get a
+corpus" story.  The database files deliberately carry non-builtin
+schema names (``geo_live``/``pt_live``) so every resolution goes
+through the introspected schema, not the catalog.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adapters import SqliteAdapter
+from repro.cli import EXIT_ERROR, EXIT_LINT_FINDINGS, EXIT_OK, main
+from repro.db import populate
+from repro.schema import load_schema
+
+pytestmark = pytest.mark.adapters
+
+
+@pytest.fixture(scope="module")
+def geo_db_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("dbs") / "geo_live.db"
+    database = populate(load_schema("geography"), rows_per_table=12, seed=5)
+    SqliteAdapter.from_database(database, path=path).close()
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def patients_db_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("dbs") / "pt_live.db"
+    database = populate(load_schema("patients"), rows_per_table=12, seed=5)
+    SqliteAdapter.from_database(database, path=path).close()
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def geo_corpus_file(geo_db_file, tmp_path_factory):
+    corpus = str(tmp_path_factory.mktemp("corpora") / "geo_live.jsonl")
+    code = main(
+        [
+            "generate",
+            "--introspect",
+            geo_db_file,
+            "--output",
+            corpus,
+            "--seed",
+            "1",
+            "--size-slotfills",
+            "2",
+        ]
+    )
+    assert code == EXIT_OK
+    return corpus
+
+
+class TestIntrospectCommand:
+    def test_prints_tables_columns_and_keys(self, patients_db_file, capsys):
+        assert main(["introspect", patients_db_file]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "schema 'pt_live'" in out
+        assert "integer pk" in out  # patient_id survives as a declared key
+        assert "[length of stay]" in out  # identifier-split NL annotation
+
+    def test_prints_foreign_keys(self, geo_db_file, capsys):
+        assert main(["introspect", geo_db_file]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "city.state_name -> state.state_name" in out
+
+    def test_json_dump_is_machine_readable(self, geo_db_file, capsys):
+        assert main(["introspect", geo_db_file, "--json"]) == EXIT_OK
+        dump = json.loads(capsys.readouterr().out)
+        assert dump["name"] == "geo_live"
+        tables = {t["name"] for t in dump["tables"]}
+        assert {"state", "city"} <= tables
+        assert dump["foreign_keys"]
+
+    def test_name_override(self, geo_db_file, capsys):
+        assert main(["introspect", geo_db_file, "--name", "geo2"]) == EXIT_OK
+        assert "schema 'geo2'" in capsys.readouterr().out
+
+    def test_empty_database_fails_with_l506(self, tmp_path, capsys):
+        import sqlite3
+
+        path = str(tmp_path / "empty.db")
+        sqlite3.connect(path).close()
+        assert main(["introspect", path]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "L506" in err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        path = str(tmp_path / "nope" / "missing.db")
+        assert main(["introspect", path]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerateIntrospect:
+    def test_corpus_from_live_database_lints_clean(
+        self, geo_db_file, geo_corpus_file, capsys
+    ):
+        # The acceptance criterion: a corpus generated from a live
+        # database passes the static analyzer with zero errors when
+        # resolved against the same introspected schema.
+        code = main(
+            ["lint", "--corpus", geo_corpus_file, "--introspect", geo_db_file]
+        )
+        assert code == EXIT_OK
+        assert "clean" in capsys.readouterr().out
+
+    def test_generate_announces_introspected_schema(
+        self, geo_db_file, tmp_path, capsys
+    ):
+        corpus = str(tmp_path / "tiny.jsonl")
+        code = main(
+            [
+                "generate",
+                "--introspect",
+                geo_db_file,
+                "--output",
+                corpus,
+                "--size-slotfills",
+                "1",
+                "--num-para",
+                "1",
+            ]
+        )
+        assert code == EXIT_OK
+        assert "introspected schema 'geo_live'" in capsys.readouterr().out
+
+    def test_schema_and_introspect_are_mutually_exclusive(
+        self, geo_db_file, tmp_path, capsys
+    ):
+        out = str(tmp_path / "c.jsonl")
+        code = main(
+            [
+                "generate",
+                "geography",
+                "--introspect",
+                geo_db_file,
+                "--output",
+                out,
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "exactly one schema source" in capsys.readouterr().err
+
+    def test_neither_schema_source_is_an_error(self, tmp_path, capsys):
+        code = main(["generate", "--output", str(tmp_path / "c.jsonl")])
+        assert code == EXIT_ERROR
+        assert "exactly one schema source" in capsys.readouterr().err
+
+
+class TestLintIntrospect:
+    def test_introspect_without_corpus_is_an_error(self, geo_db_file, capsys):
+        code = main(["lint", "--introspect", geo_db_file])
+        assert code == EXIT_ERROR
+        assert "--corpus" in capsys.readouterr().err
+
+    def test_schema_mismatch_surfaces_findings(
+        self, geo_corpus_file, patients_db_file
+    ):
+        # A geography corpus resolved against a patients database must
+        # produce findings, not silently pass.
+        code = main(
+            [
+                "lint",
+                "--corpus",
+                geo_corpus_file,
+                "--introspect",
+                patients_db_file,
+            ]
+        )
+        assert code == EXIT_LINT_FINDINGS
+
+
+class TestDbExplainBackend:
+    def test_sqlite_backend_shows_compiled_sql_and_plan(self, capsys):
+        code = main(
+            [
+                "db",
+                "explain",
+                "patients",
+                "SELECT name FROM patients WHERE age > 40",
+                "--backend",
+                "sqlite",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "compiled SQL (sqlite dialect):" in out
+        assert "COALESCE((age > 40), 0)" in out
+        assert "sqlite query plan:" in out
+
+    def test_sqlite_backend_execute_matches_memory(self, capsys):
+        sql = "SELECT diagnosis, COUNT(*) FROM patients GROUP BY diagnosis"
+        assert (
+            main(["db", "explain", "patients", sql, "--execute"]) == EXIT_OK
+        )
+        memory_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "db",
+                    "explain",
+                    "patients",
+                    sql,
+                    "--execute",
+                    "--backend",
+                    "sqlite",
+                ]
+            )
+            == EXIT_OK
+        )
+        sqlite_out = capsys.readouterr().out
+        memory_rows = [l for l in memory_out.splitlines() if l.startswith("  {")]
+        sqlite_rows = [l for l in sqlite_out.splitlines() if l.startswith("  {")]
+        assert memory_rows == sqlite_rows
