@@ -12,7 +12,15 @@ over the *same* fitted model and database:
   sustainable throughput with caching + micro-batching + coalescing);
 * ``serving_open``   — open-loop load: requests dispatched on a fixed
   arrival schedule regardless of completions (measures latency under a
-  target offered rate, the millions-of-users shape).
+  target offered rate, the millions-of-users shape);
+* ``sharded_open``   — the same open-loop workload against
+  :class:`repro.serving.ShardedService` at 1, 2, and 4 replicas (the
+  scale-out ladder): sustained rate and p99 per replica count, plus a
+  bit-identity check of every response payload against a sequential
+  single-process reference and a zero-duplicate audit of the shard
+  caches.  Scaling ratios only mean anything with as many cores as
+  replicas (see ``_common.speedup_assertable``); the identity and
+  exclusivity properties are asserted at any scale.
 
 The serving arms share one anonymization-keyed translation cache, so
 their steady-state cost per question is preprocess + cache hit +
@@ -36,12 +44,20 @@ import threading
 import time
 from pathlib import Path
 
+from dataclasses import replace
+
 from repro.core import GenerationConfig
 from repro.db import populate
 from repro.neural import RetrievalModel
 from repro.runtime import DBPal
 from repro.schema import load_schema
-from repro.serving import ServingConfig, TranslationService
+from repro.serving import (
+    ServingConfig,
+    ShardSpec,
+    ShardedConfig,
+    ShardedService,
+    TranslationService,
+)
 
 #: Question shapes; ``{}`` slots are filled with constants drawn from
 #: the populated database, so anonymization maps them onto shared keys.
@@ -174,9 +190,94 @@ def run_serving_open(
     }
 
 
-def run_benchmark(
-    requests: int = 600, clients: int = 8, size_slotfills: int = 6
+def _prebuilt(nlidb: DBPal) -> DBPal:
+    """Module-level shard factory: hand back an already-built replica.
+
+    Shards inherit ``nlidb`` through ``fork`` (copy-on-write), so each
+    gets its own private copy post-fork without re-running populate +
+    fit in every process; the front door's own ``spec.build()`` returns
+    the parent's instance.
+    """
+    return nlidb
+
+
+def reference_payloads(nlidb: DBPal, questions: list[str]) -> list[dict]:
+    """Sequential single-process pass: the bit-identity ground truth."""
+    config = ServingConfig(workers=1, request_timeout=60.0)
+    with TranslationService(nlidb, config) as service:
+        return [service.translate(q).payload() for q in questions]
+
+
+def run_sharded_open(
+    nlidb: DBPal,
+    questions: list[str],
+    rate: float,
+    config: ServingConfig,
+    replicas: int,
+    reference: list[dict],
 ) -> dict:
+    """One ladder arm: open-loop workload against ``replicas`` shards."""
+    # The arm must complete every accepted request for the identity
+    # check to be meaningful, so shedding is configured away: unbounded
+    # admission queues and a generous in-flight cap.  Capacity then
+    # shows up where it should — in achieved qps and p99.
+    shard_config = replace(config, queue_capacity=0, request_timeout=60.0)
+    spec = ShardSpec(_prebuilt, (nlidb,), config=shard_config)
+    sharded = ShardedConfig(replicas=replicas, max_inflight_per_shard=4096)
+    with ShardedService(spec, sharded) as service:
+        interval = 1.0 / rate if rate > 0 else 0.0
+        futures = []
+        start = time.perf_counter()
+        for index, question in enumerate(questions):
+            target = start + index * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(service.submit(question))
+        responses = [future.result() for future in futures]
+        seconds = time.perf_counter() - start
+        stats = service.stats()
+        keys_by_shard = service.cache_keys()
+    payloads = [response.payload() for response in responses]
+    all_keys = [key for keys in keys_by_shard.values() for key in keys]
+    latencies = sorted(response.latency for response in responses)
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * len(latencies)))]
+    return {
+        "replicas": replicas,
+        "seconds": round(seconds, 3),
+        "requests": len(questions),
+        "ok": sum(1 for r in responses if r.ok),
+        "offered_qps": round(rate, 1),
+        "achieved_qps": round(len(questions) / seconds, 1) if seconds > 0 else 0.0,
+        "p99_seconds": round(p99, 6) if latencies else 0.0,
+        "identical": payloads == reference,
+        "duplicate_cache_keys": len(all_keys) - len(set(all_keys)),
+        "cache_keys_per_shard": {
+            name: len(keys) for name, keys in sorted(keys_by_shard.items())
+        },
+        "aggregate_hit_rate": stats["cluster"]["cache_hit_rate"],
+        "respawns": stats["supervisor"]["respawns"],
+        "quarantined": stats["supervisor"]["quarantined"],
+    }
+
+
+def run_benchmark(
+    requests: int = 600,
+    clients: int = 8,
+    size_slotfills: int = 6,
+    max_replicas: int = 4,
+) -> dict:
+    try:
+        from _common import speedup_assertable
+    except ModuleNotFoundError:  # imported from outside benchmarks/
+        import sys
+
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        try:
+            from _common import speedup_assertable
+        finally:
+            sys.path.remove(str(Path(__file__).resolve().parent))
+
     nlidb = build_nlidb(size_slotfills)
     questions = build_workload(nlidb.database, requests)
     config = ServingConfig(workers=2, batch_window=0.002, request_timeout=30.0)
@@ -188,8 +289,28 @@ def run_benchmark(
     open_rate = max(20.0, naive["qps"] * 2.0)
     open_loop = run_serving_open(nlidb, questions, open_rate, config)
 
+    # --- scale-out ladder -------------------------------------------
+    # One sequential single-process pass is the payload ground truth
+    # every arm must reproduce bit-identically; the offered rate is
+    # deliberately past single-replica capacity so the ladder measures
+    # *sustained* rate (completion throughput), not arrival rate.
+    reference = reference_payloads(nlidb, questions)
+    ladder = [r for r in (1, 2, 4) if r <= max_replicas]
+    sharded_rate = max(40.0, naive["qps"] * 4.0)
+    arms = {
+        str(replicas): run_sharded_open(
+            nlidb, questions, sharded_rate, config, replicas, reference
+        )
+        for replicas in ladder
+    }
+
     def ratio(a: float, b: float) -> float:
         return round(a / b, 2) if b > 0 else 0.0
+
+    def arm_ratio(high: str, low: str) -> float:
+        if high not in arms or low not in arms:
+            return 0.0
+        return ratio(arms[high]["achieved_qps"], arms[low]["achieved_qps"])
 
     return {
         "benchmark": "serving_throughput",
@@ -205,10 +326,20 @@ def run_benchmark(
             "naive": naive,
             "serving_closed": closed,
             "serving_open": open_loop,
+            "sharded_open": {
+                "offered_qps": round(sharded_rate, 1),
+                "arms": arms,
+            },
         },
         "speedups": {
             "serving_closed_vs_naive": ratio(closed["qps"], naive["qps"]),
             "serving_open_vs_naive": ratio(open_loop["achieved_qps"], naive["qps"]),
+            "sharded_2_vs_1": arm_ratio("2", "1"),
+            "sharded_4_vs_1": arm_ratio("4", "1"),
+        },
+        "scaling_assertable": {
+            "2_vs_1": speedup_assertable(cores=2),
+            "4_vs_1": speedup_assertable(cores=4),
         },
     }
 
@@ -218,6 +349,12 @@ def main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=600)
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--size-slotfills", type=int, default=6)
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=4,
+        help="cap on the scale-out ladder (arms run at 1, 2, 4 up to this)",
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -232,10 +369,12 @@ def main(argv=None) -> int:
         args.requests = min(args.requests, 60)
         args.clients = min(args.clients, 4)
         args.size_slotfills = min(args.size_slotfills, 2)
+        args.replicas = min(args.replicas, 2)
     record = run_benchmark(
         requests=args.requests,
         clients=args.clients,
         size_slotfills=args.size_slotfills,
+        max_replicas=args.replicas,
     )
     output = Path(args.output)
     output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
@@ -244,6 +383,13 @@ def main(argv=None) -> int:
     print(f"  naive           {modes['naive']['qps']:>8.1f} qps")
     print(f"  serving_closed  {modes['serving_closed']['qps']:>8.1f} qps")
     print(f"  serving_open    {modes['serving_open']['achieved_qps']:>8.1f} qps")
+    for replicas, arm in modes["sharded_open"]["arms"].items():
+        print(
+            f"  sharded x{replicas}      {arm['achieved_qps']:>8.1f} qps"
+            f"  p99 {arm['p99_seconds'] * 1000:>7.1f} ms"
+            f"  identical={arm['identical']}"
+            f"  dup_keys={arm['duplicate_cache_keys']}"
+        )
     for name, value in record["speedups"].items():
         print(f"  speedup {name:<26} {value:.2f}x")
     hit_rate = modes["serving_closed"]["stats"]["cache_hit_rate"]

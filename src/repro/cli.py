@@ -227,6 +227,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--stats-json", default="", help="write the machine-readable snapshot here"
     )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="serve from N shared-nothing shard processes behind a "
+        "consistent-hash-routing front door (0 = single process; "
+        "scale-out needs as many cores)",
+    )
+    serve.add_argument(
+        "--reload",
+        default="",
+        metavar="CKPT",
+        help="after startup, hot-swap this checkpoint into the running "
+        "service (with --replicas: rolling, shard-by-shard, zero "
+        "dropped requests)",
+    )
     _add_serving_arguments(serve)
 
     bench = sub.add_parser("benchmark", help="evaluate on the Patients benchmark")
@@ -525,26 +541,118 @@ def cmd_translate(args) -> int:
     return 0
 
 
+def _build_serving_nlidb(schema_name: str, checkpoint: str, seed: int):
+    """Build one complete serving replica (module-level: shard factory).
+
+    Runs inside each shard process under ``repro serve --replicas N``,
+    so every shard gets its own database, model, and pre/post
+    processors — shared-nothing by construction.
+    """
+    from repro.neural import load_model
+    from repro.runtime import DBPal
+
+    schema = load_schema(schema_name)
+    database = populate(schema, rows_per_table=30, seed=seed)
+    return DBPal(database, load_model(checkpoint))
+
+
+def _load_checkpoint_model(path: str):
+    """Module-level checkpoint loader (rolling-reload runs it per shard)."""
+    from repro.neural import load_model
+
+    return load_model(path)
+
+
+def _print_stage_table(stages: dict) -> None:
+    """Per-stage timings with busy and wall clearly told apart."""
+    if not stages:
+        return
+    print("  per-stage timings (busy = summed across threads; "
+          "wall = first entry to last exit):")
+    width = max(len(name) for name in stages)
+    for name, stats in stages.items():
+        busy = stats.get("busy_seconds", stats.get("seconds", 0.0))
+        print(
+            f"    {name:<{width}}  busy {busy:>8.3f}s"
+            f"  wall {stats.get('wall_seconds', 0.0):>8.3f}s"
+            f"  x{stats.get('calls', 0)}"
+        )
+
+
+def _print_serve_stats(service, stats: dict, sharded: bool) -> None:
+    if sharded:
+        cluster = stats["cluster"]
+        front = stats["front"]
+        print("sharded serving stats:")
+        print(f"  replicas      {stats['replicas']}")
+        print(f"  requests      {front['requests_total']}")
+        print(f"  qps           {front['qps']:.1f}")
+        print(f"  latency p50   {front['latency']['p50'] * 1000:.2f} ms")
+        print(f"  latency p99   {front['latency']['p99'] * 1000:.2f} ms")
+        print(f"  cache hitrate {cluster['cache_hit_rate']:.1%} (aggregate)")
+        supervisor = stats["supervisor"]
+        print(f"  respawns      {supervisor['respawns']}"
+              f"  quarantined {supervisor['quarantined']}")
+        for name, snap in sorted(stats["shards"].items()):
+            print(f"  {name:<12}  requests {snap['requests_total']}"
+                  f"  hitrate {snap['cache_hit_rate']:.1%}")
+        _print_stage_table(cluster.get("stages", {}))
+    else:
+        print(service.metrics.format_table())
+        cache = stats.get("cache")
+        if cache:
+            print(f"  cache size    {cache['size']}/{cache['capacity']}")
+        print(f"  breaker       {stats['breaker']['state']}")
+        _print_stage_table(stats.get("stages", {}))
+        accounting = stats.get("accounting")
+        if accounting:
+            tag = "consistent" if accounting["consistent"] else "INCONSISTENT"
+            print(f"  counters      {tag} "
+                  f"({len(accounting['identities'])} identities checked)")
+
+
 def cmd_serve(args) -> int:
     import json
 
-    from repro.neural import load_model
-    from repro.runtime import DBPal
-    from repro.serving import TranslationService
+    sharded = args.replicas >= 1
+    config = _serving_config_from(args)
+    if sharded:
+        from repro.serving import ShardSpec, ShardedConfig, ShardedService
 
-    schema = load_schema(args.schema)
-    database = populate(schema, rows_per_table=30, seed=args.seed)
-    nlidb = DBPal(database, load_model(args.checkpoint))
+        spec = ShardSpec(
+            _build_serving_nlidb,
+            (args.schema, args.checkpoint, args.seed),
+            config=config,
+        )
+        service_cm = ShardedService(spec, ShardedConfig(replicas=args.replicas))
+    else:
+        from repro.neural import load_model
+        from repro.runtime import DBPal
+        from repro.serving import TranslationService
+
+        schema = load_schema(args.schema)
+        database = populate(schema, rows_per_table=30, seed=args.seed)
+        nlidb = DBPal(database, load_model(args.checkpoint))
+        service_cm = TranslationService(nlidb, config)
     interactive = sys.stdin.isatty()
 
     interrupted = False
     # The context manager drains in-flight requests and stops the
-    # worker pool on exit, interrupt included — no request is dropped
-    # mid-batch, and an interrupt exits with a one-liner, not a
-    # traceback.
-    with _graceful_sigterm(), TranslationService(
-        nlidb, _serving_config_from(args)
-    ) as service:
+    # worker pool (all shards, in sharded mode) on exit, interrupt
+    # included — no accepted request is dropped mid-batch, and an
+    # interrupt exits with a one-liner, not a traceback.
+    with _graceful_sigterm(), service_cm as service:
+        if args.reload:
+            if sharded:
+                reloaded = service.rolling_reload(
+                    _load_checkpoint_model, args.reload
+                )
+                for record in reloaded:
+                    print(f"reloaded {record['shard']} "
+                          f"(generation {record['generation']})")
+            else:
+                service.reload_model(_load_checkpoint_model(args.reload))
+                print("reloaded model")
         if interactive:
             print("DBPal serving REPL — empty line to exit")
         try:
@@ -572,18 +680,15 @@ def cmd_serve(args) -> int:
             interrupted = True
         stats = service.stats()
     if args.stats:
-        print(service.metrics.format_table())
-        cache = stats.get("cache")
-        if cache:
-            print(f"  cache size    {cache['size']}/{cache['capacity']}")
-        print(f"  breaker       {stats['breaker']['state']}")
+        _print_serve_stats(service, stats, sharded)
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as handle:
             json.dump(stats, handle, indent=2, sort_keys=True)
         print(f"wrote stats to {args.stats_json}")
     if interrupted:
+        drained = "all shards drained" if sharded else "workers drained"
         print(
-            "interrupted — workers drained, service stopped cleanly",
+            f"interrupted — {drained}, service stopped cleanly",
             file=sys.stderr,
         )
         return EXIT_INTERRUPTED

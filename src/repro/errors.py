@@ -72,6 +72,7 @@ _SERVING_WIRE_CODES = {
     "model_unavailable": E_MODEL_UNAVAILABLE,
     "untranslatable": E_UNTRANSLATABLE,
     "backend_error": E_BACKEND,
+    "worker_died": E_WORKER_DIED,
     "unsupported_dialect": E_DIALECT,
 }
 

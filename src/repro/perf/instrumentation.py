@@ -42,11 +42,37 @@ class StageTimer:
 
 @dataclass
 class StageStats:
-    """Accumulated numbers for one named stage."""
+    """Accumulated numbers for one named stage.
+
+    ``seconds`` is **cumulative busy time**: spans are summed across
+    every thread that reports into the stage, so under concurrency it
+    can exceed wall-clock (8 worker threads preprocessing for 1s each
+    inside a 1s window report 8s).  ``first_start``/``last_end``
+    bracket the stage's activity on this process's ``perf_counter``
+    timeline; their difference (:attr:`wall_seconds`) is the wall-clock
+    span — the two are reported side by side so a >100% "utilization"
+    reads as concurrency, not as a broken timer.
+    """
 
     seconds: float = 0.0
     calls: int = 0
     items: int = 0
+    first_start: float | None = None
+    last_end: float | None = None
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock span from first entry to last exit (0.0 if idle)."""
+        if self.first_start is None or self.last_end is None:
+            return 0.0
+        return max(0.0, self.last_end - self.first_start)
+
+    def observe_span(self, start: float, end: float) -> None:
+        """Widen the wall-clock bracket to include [start, end]."""
+        self.first_start = (
+            start if self.first_start is None else min(self.first_start, start)
+        )
+        self.last_end = end if self.last_end is None else max(self.last_end, end)
 
     @property
     def items_per_second(self) -> float:
@@ -75,11 +101,19 @@ class PerfRecorder:
     stages: dict[str, StageStats] = field(default_factory=dict)
 
     def add(self, stage: str, seconds: float, items: int = 0) -> None:
-        """Fold one measurement into ``stage``'s running totals."""
+        """Fold one measurement into ``stage``'s running totals.
+
+        The span is approximated as ending now (callers report a
+        duration immediately after measuring it), which is accurate
+        enough for the wall-clock bracket; use :meth:`stage` when the
+        exact span matters.
+        """
         stats = self.stages.setdefault(stage, StageStats())
         stats.seconds += seconds
         stats.calls += 1
         stats.items += items
+        end = time.perf_counter()
+        stats.observe_span(end - max(0.0, seconds), end)
 
     def count(self, stage: str, items: int) -> None:
         """Add items to a stage without adding time (e.g. merged pairs)."""
@@ -98,8 +132,10 @@ class PerfRecorder:
         try:
             yield stats
         finally:
-            stats.seconds += time.perf_counter() - start
+            end = time.perf_counter()
+            stats.seconds += end - start
             stats.calls += 1
+            stats.observe_span(start, end)
 
     def merge(self, other: "PerfRecorder") -> None:
         """Fold another recorder's totals into this one.
@@ -113,6 +149,8 @@ class PerfRecorder:
             mine.seconds += stats.seconds
             mine.calls += stats.calls
             mine.items += stats.items
+            if stats.first_start is not None and stats.last_end is not None:
+                mine.observe_span(stats.first_start, stats.last_end)
 
     def seconds(self, stage: str) -> float:
         return self.stages[stage].seconds if stage in self.stages else 0.0
@@ -125,7 +163,11 @@ class PerfRecorder:
         """Plain-dict snapshot (JSON-ready, for BENCH files and logs)."""
         return {
             name: {
+                # "seconds" predates the busy/wall split and is kept as
+                # an alias of busy_seconds for existing consumers.
                 "seconds": round(stats.seconds, 6),
+                "busy_seconds": round(stats.seconds, 6),
+                "wall_seconds": round(stats.wall_seconds, 6),
                 "calls": stats.calls,
                 "items": stats.items,
                 "items_per_second": round(stats.items_per_second, 3),

@@ -104,6 +104,16 @@ class TranslationCache:
         with self._lock:
             self._entries.clear()
 
+    def keys(self) -> list[str]:
+        """Snapshot of the resident keys (LRU order, oldest first).
+
+        The sharded tier uses this to audit shard-exclusive placement:
+        the union of every shard's ``keys()`` must contain no duplicates
+        when routing is keyed on the anonymized question.
+        """
+        with self._lock:
+            return list(self._entries)
+
     @property
     def hit_rate(self) -> float:
         """Fresh-hit fraction of all lookups (0.0 when none yet)."""

@@ -68,8 +68,16 @@ class MetricsRegistry:
             self._latencies.append(seconds)
 
     def record_batch(self, size: int) -> None:
+        """Fold one micro-batch into the registry.
+
+        ``batches_total`` counts batches, ``model.batched_inputs``
+        counts the requests inside them — keeping both makes the
+        batch-size histogram reconcile against ``model.calls`` (see
+        ``TranslationService.stats()["accounting"]``).
+        """
         with self._lock:
             self._counters["batches_total"] += 1
+            self._counters["model.batched_inputs"] += size
             self._batch_sizes[size] += 1
 
     # ------------------------------------------------------------------
@@ -80,8 +88,14 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
-    def snapshot(self) -> dict:
-        """JSON-ready report; safe to call at any moment, even idle."""
+    def snapshot(self, include_samples: bool = False) -> dict:
+        """JSON-ready report; safe to call at any moment, even idle.
+
+        ``include_samples=True`` attaches the raw latency window under
+        ``latency_samples`` so an aggregator can compute *merged*
+        percentiles across registries (averaging per-shard p99s would
+        be wrong; pooling the samples is exact up to window aging).
+        """
         with self._lock:
             elapsed = self._clock() - self._started
             total = self._counters.get("requests_total", 0)
@@ -92,7 +106,7 @@ class MetricsRegistry:
         batches = sum(batch_sizes.values())
         hits = counters.get("cache.hits", 0)
         lookups = hits + counters.get("cache.misses", 0)
-        return {
+        snap = {
             "uptime_seconds": round(elapsed, 3),
             "requests_total": total,
             "qps": round(total / elapsed, 3) if elapsed > 0 else 0.0,
@@ -108,6 +122,14 @@ class MetricsRegistry:
             "mean_batch_size": round(batched / batches, 3) if batches else 0.0,
             "counters": counters,
         }
+        if include_samples:
+            snap["latency_samples"] = [round(s, 6) for s in latencies]
+        return snap
+
+    def latency_samples(self) -> list[float]:
+        """Copy of the current latency window (for merged percentiles)."""
+        with self._lock:
+            return list(self._latencies)
 
     def format_table(self, title: str = "serving stats") -> str:
         """Fixed-width terminal rendering of :meth:`snapshot`."""
@@ -125,3 +147,104 @@ class MetricsRegistry:
         for name, value in snap["counters"].items():
             lines.append(f"  {name:<24s}{value}")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Cross-shard aggregation
+# ----------------------------------------------------------------------
+
+def merge_shard_stats(shard_stats: Sequence[dict], elapsed: float) -> dict:
+    """Merge per-shard ``TranslationService.stats()`` snapshots into one
+    cluster view.
+
+    * **counters** are summed;
+    * **latency quantiles** are recomputed over the *pooled* raw sample
+      windows (each shard must snapshot with ``include_samples=True``) —
+      pooling is exact, averaging per-shard percentiles would not be;
+    * **batch histograms** are added bucket-wise;
+    * **cache** counters are summed and the aggregate hit rate is
+      recomputed from the sums (this is the number the shard-exclusive
+      routing is supposed to keep at the single-process level);
+    * **stages** sum ``busy_seconds``/``calls``/``items`` across shards
+      and take the max ``wall_seconds`` (per-process clocks do not
+      share an epoch, so spans cannot be unioned across processes);
+    * ``qps`` uses the front door's ``elapsed`` as the one shared
+      denominator.
+
+    Shards that failed to report (dead/respawning) are simply absent;
+    the caller records how many answered under ``shards_reporting``.
+    """
+    counters: Counter[str] = Counter()
+    samples: list[float] = []
+    batch_sizes: Counter[str] = Counter()
+    cache_totals: Counter[str] = Counter()
+    stages: dict[str, dict[str, float]] = {}
+    cache_seen = False
+    for snap in shard_stats:
+        counters.update(snap.get("counters", {}))
+        samples.extend(snap.get("latency_samples", []))
+        batch_sizes.update(snap.get("batch_size_histogram", {}))
+        cache = snap.get("cache")
+        if cache:
+            cache_seen = True
+            for field in ("size", "capacity", "hits", "misses",
+                          "stale_hits", "evictions"):
+                cache_totals[field] += cache.get(field, 0)
+        for name, stats in snap.get("stages", {}).items():
+            merged = stages.setdefault(
+                name,
+                {"busy_seconds": 0.0, "wall_seconds": 0.0,
+                 "calls": 0, "items": 0},
+            )
+            merged["busy_seconds"] += stats.get(
+                "busy_seconds", stats.get("seconds", 0.0)
+            )
+            merged["wall_seconds"] = max(
+                merged["wall_seconds"], stats.get("wall_seconds", 0.0)
+            )
+            merged["calls"] += stats.get("calls", 0)
+            merged["items"] += stats.get("items", 0)
+    total = counters.get("requests_total", 0)
+    hits = counters.get("cache.hits", 0)
+    lookups = hits + counters.get("cache.misses", 0)
+    batched = sum(int(size) * n for size, n in batch_sizes.items())
+    batches = sum(batch_sizes.values())
+    merged_cache = None
+    if cache_seen:
+        obj_lookups = (
+            cache_totals["hits"] + cache_totals["misses"]
+            + cache_totals["stale_hits"]
+        )
+        merged_cache = dict(cache_totals)
+        merged_cache["hit_rate"] = (
+            round(cache_totals["hits"] / obj_lookups, 4) if obj_lookups else 0.0
+        )
+    return {
+        "shards_reporting": len(shard_stats),
+        "uptime_seconds": round(elapsed, 3),
+        "requests_total": total,
+        "qps": round(total / elapsed, 3) if elapsed > 0 else 0.0,
+        "latency": {
+            "samples": len(samples),
+            "p50": round(percentile(samples, 50), 6),
+            "p95": round(percentile(samples, 95), 6),
+            "p99": round(percentile(samples, 99), 6),
+            "max": round(max(samples), 6) if samples else 0.0,
+        },
+        "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        "cache": merged_cache,
+        "batch_size_histogram": {
+            str(k): v for k, v in sorted(batch_sizes.items(), key=lambda i: int(i[0]))
+        },
+        "mean_batch_size": round(batched / batches, 3) if batches else 0.0,
+        "counters": dict(sorted(counters.items())),
+        "stages": {
+            name: {
+                "busy_seconds": round(stats["busy_seconds"], 6),
+                "wall_seconds": round(stats["wall_seconds"], 6),
+                "calls": stats["calls"],
+                "items": stats["items"],
+            }
+            for name, stats in stages.items()
+        },
+    }

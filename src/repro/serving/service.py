@@ -107,6 +107,24 @@ class ServingResponse:
     def sql(self) -> str | None:
         return self.result.sql if self.result is not None else None
 
+    def payload(self) -> dict:
+        """Deterministic projection for differential testing.
+
+        Excludes everything timing- or deployment-dependent —
+        ``request_id`` (per-process counters), ``latency``, and
+        ``source`` (a request racing a landing flight may be answered
+        from the cache or the flight depending on scheduling) — leaving
+        exactly the fields that must be bit-identical between a
+        single-process service and any sharded deployment serving the
+        same workload with the same model.
+        """
+        return {
+            "nl": self.nl,
+            "status": self.status,
+            "sql": self.sql,
+            "failure_code": None if self.failure is None else self.failure.code,
+        }
+
     def to_dict(self) -> dict:
         """JSON-ready view (for the CLI's machine-readable output)."""
         return {
@@ -317,7 +335,7 @@ class TranslationService:
             return finish(self._degrade(request_id, nl, pre))
         return finish(self._respond(request_id, nl, pre, output, SOURCE_MODEL))
 
-    def submit(self, nl: str) -> Future:
+    def submit(self, nl: str, timeout: float | None = None) -> Future:
         """Asynchronous :meth:`translate`; resolves to a ServingResponse."""
         if not self.running:
             self.start()
@@ -328,7 +346,23 @@ class TranslationService:
                     thread_name_prefix="repro-serving-frontend",
                 )
             executor = self._executor
-        return executor.submit(self.translate, nl)
+        return executor.submit(self.translate, nl, timeout)
+
+    def reload_model(self, model: TranslationModel) -> None:
+        """Swap the serving model without dropping in-flight requests.
+
+        The swap is one atomic reference assignment: batches already
+        dispatched finish on the old weights, every later batch reads
+        the new reference (``_process_batch`` re-reads
+        ``self.nlidb.model`` per batch).  Cache entries produced by the
+        old model stay valid until TTL expiry — the cache stores model
+        *outputs*, not model state.  The sharded tier's rolling reload
+        (see :mod:`repro.serving.front_door`) calls this shard-by-shard.
+        """
+        if model is None:
+            raise ServingError("cannot reload to a None model")
+        self.nlidb.model = model
+        self.metrics.increment("model.reloads")
 
     def query(self, nl: str, max_rows: int | None = None):
         """Translate via the service, then execute (raises on failure)."""
@@ -340,6 +374,20 @@ class TranslationService:
 
         return execute(response.result.query, self.nlidb.database, max_rows=max_rows)
 
+    #: What the two per-stage time columns mean (surfaced verbatim in
+    #: ``--stats`` / ``--stats-json`` so a 600%-looking utilization is
+    #: never misread as a measurement bug).
+    STAGES_LEGEND = {
+        "busy_seconds": (
+            "time spent inside the stage summed across all worker "
+            "threads; under concurrency this exceeds wall-clock"
+        ),
+        "wall_seconds": (
+            "wall-clock span from the stage's first entry to its last "
+            "exit; bounded by the service's uptime"
+        ),
+    }
+
     def stats(self) -> dict:
         """Combined metrics / cache / breaker / per-stage perf snapshot."""
         snap = self.metrics.snapshot()
@@ -347,8 +395,93 @@ class TranslationService:
         snap["breaker"] = self.breaker.stats()
         with self._recorder_lock:
             snap["stages"] = self.recorder.report()
+        snap["stages_legend"] = dict(self.STAGES_LEGEND)
+        snap["accounting"] = self._accounting(snap)
         snap["config"] = self.config.to_dict()
         return snap
+
+    def _accounting(self, snap: dict) -> dict:
+        """Cross-counter consistency identities (the reconciliation).
+
+        Every model call, coalesced waiter, late cache hit, and shed
+        request is tied back to the cache-miss count that produced it,
+        and every input that entered the batcher is tied to a terminal
+        counter — so ``model.calls`` can never silently disagree with
+        the batch histogram again.  The identities hold exactly when
+        the service is quiescent (no request mid-flight); a snapshot
+        taken under load may show transient slack, which is reported,
+        not hidden.
+        """
+        c = snap["counters"]
+
+        def identity(name: str, lhs: int, rhs: int) -> dict:
+            return {"identity": name, "lhs": lhs, "rhs": rhs, "ok": lhs == rhs}
+
+        histogram = snap["batch_size_histogram"]
+        identities = [
+            identity(
+                "flights.opened == model.batched_inputs + shed.queue_full",
+                c.get("flights.opened", 0),
+                c.get("model.batched_inputs", 0) + c.get("shed.queue_full", 0),
+            ),
+            identity(
+                "model.batched_inputs == model.calls + model.failed_inputs"
+                " + breaker.short_circuited",
+                c.get("model.batched_inputs", 0),
+                c.get("model.calls", 0)
+                + c.get("model.failed_inputs", 0)
+                + c.get("breaker.short_circuited", 0),
+            ),
+            identity(
+                "sum(batch_size_histogram sizes) == model.batched_inputs",
+                sum(int(size) * count for size, count in histogram.items()),
+                c.get("model.batched_inputs", 0),
+            ),
+            identity(
+                "sum(batch_size_histogram counts) == batches_total",
+                sum(histogram.values()),
+                c.get("batches_total", 0),
+            ),
+        ]
+        if self.cache is not None:
+            cache = snap["cache"]
+            identities.extend(
+                [
+                    identity(
+                        "cache.misses == flights.opened"
+                        " + singleflight.coalesced + cache.late_hits",
+                        c.get("cache.misses", 0),
+                        c.get("flights.opened", 0)
+                        + c.get("singleflight.coalesced", 0)
+                        + c.get("cache.late_hits", 0),
+                    ),
+                    identity(
+                        "cache_object.hits == cache.hits + cache.late_hits"
+                        " + cache.degrade_hits",
+                        cache["hits"],
+                        c.get("cache.hits", 0)
+                        + c.get("cache.late_hits", 0)
+                        + c.get("cache.degrade_hits", 0),
+                    ),
+                    identity(
+                        "cache_object.misses == cache.misses"
+                        " + cache.recheck_misses + cache.stale_misses",
+                        cache["misses"],
+                        c.get("cache.misses", 0)
+                        + c.get("cache.recheck_misses", 0)
+                        + c.get("cache.stale_misses", 0),
+                    ),
+                    identity(
+                        "cache_object.stale_hits == cache.stale_hits",
+                        cache["stale_hits"],
+                        c.get("cache.stale_hits", 0),
+                    ),
+                ]
+            )
+        return {
+            "identities": identities,
+            "consistent": all(item["ok"] for item in identities),
+        }
 
     # ------------------------------------------------------------------
     # Model path (single-flight + batcher)
@@ -375,7 +508,9 @@ class TranslationService:
                     if hit is not None:
                         self.metrics.increment("cache.late_hits")
                         return (_MODEL_OK, hit.value)
+                    self.metrics.increment("cache.recheck_misses")
                 flight = self._flights[key] = _Flight()
+                self.metrics.increment("flights.opened")
             else:
                 flight.coalesced += 1
                 self.metrics.increment("singleflight.coalesced")
@@ -421,6 +556,7 @@ class TranslationService:
         except Exception:  # noqa: BLE001 — any model crash trips the breaker
             self.breaker.record_failure()
             self.metrics.increment("model.failures")
+            self.metrics.increment("model.failed_inputs", len(batch))
             self._resolve(batch, _MODEL_DOWN, [None] * len(batch))
             return
         self._record("model_batch", self._clock() - t0, items=len(batch))
@@ -484,6 +620,12 @@ class TranslationService:
                 and self.config.serve_stale_on_degrade
             ):
                 stale = self.cache.get(pre.model_input, allow_expired=True)
+                if stale is None:
+                    self.metrics.increment("cache.stale_misses")
+                elif stale.stale:
+                    self.metrics.increment("cache.stale_hits")
+                else:
+                    self.metrics.increment("cache.degrade_hits")
                 if stale is not None and stale.value is not None:
                     result = self._postprocess(nl, pre, stale.value)
                     if result.query is not None:

@@ -1,11 +1,14 @@
 """Tier-1 smoke run of the serving load generator.
 
 ``benchmarks/run_serving.py`` is executed end-to-end in miniature
-(``--smoke`` caps requests, clients, and corpus size) so the benchmark
-script cannot rot out from under the serving layer: it exercises the
-naive, closed-loop, and open-loop arms and must emit a well-formed
-record.  No throughput assertion here — speedup claims live in
-``benchmarks/test_perf_serving.py`` under the ``serving`` marker.
+(``--smoke`` caps requests, clients, corpus size, and the replica
+ladder at 2) so the benchmark script cannot rot out from under the
+serving layer: it exercises the naive, closed-loop, open-loop, and
+sharded arms and must emit a well-formed record.  No throughput
+assertion here — speedup claims live in
+``benchmarks/test_perf_serving.py`` under the ``serving`` marker;
+the *correctness* properties of the sharded arms (payload identity,
+shard-exclusive cache keys) hold at any scale and are asserted.
 """
 
 import json
@@ -23,14 +26,18 @@ def test_smoke_run_writes_valid_record(tmp_path):
         sys.path.remove(str(BENCHMARKS_DIR))
 
     output = tmp_path / "BENCH_serving.json"
-    exit_code = main(["--smoke", "--requests", "24", "--output", str(output)])
+    exit_code = main(
+        ["--smoke", "--requests", "24", "--replicas", "2", "--output", str(output)]
+    )
     assert exit_code == 0
 
     record = json.loads(output.read_text(encoding="utf-8"))
     assert record["benchmark"] == "serving_throughput"
     assert record["requests"] == 24
     modes = record["modes"]
-    assert set(modes) == {"naive", "serving_closed", "serving_open"}
+    assert set(modes) == {
+        "naive", "serving_closed", "serving_open", "sharded_open",
+    }
     # Every arm answered every request on the tiny workload.
     assert modes["naive"]["ok"] == 24
     assert modes["serving_closed"]["ok"] == 24
@@ -38,6 +45,18 @@ def test_smoke_run_writes_valid_record(tmp_path):
     assert set(record["speedups"]) == {
         "serving_closed_vs_naive",
         "serving_open_vs_naive",
+        "sharded_2_vs_1",
+        "sharded_4_vs_1",
     }
     # Repeated question shapes must actually hit the shared cache.
     assert modes["serving_closed"]["stats"]["cache_hit_rate"] > 0.0
+    # The scale-out ladder is capped at 2 replicas in the smoke run.
+    arms = modes["sharded_open"]["arms"]
+    assert set(arms) == {"1", "2"}
+    for arm in arms.values():
+        # Correctness properties hold at any scale, 1-core CI included:
+        # bit-identical payloads vs the single-process reference, every
+        # accepted request answered, and shard-exclusive cache keys.
+        assert arm["identical"] is True, arm
+        assert arm["ok"] == 24, arm
+        assert arm["duplicate_cache_keys"] == 0, arm

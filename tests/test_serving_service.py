@@ -232,6 +232,191 @@ class TestStatsSnapshot:
         json.dumps(snap)
 
 
+class TestCounterAccounting:
+    """The counter-reconciliation satellite (ISSUE 8).
+
+    The seed BENCH showed ``batches_total: 5`` while the histogram
+    summed to 7 items and ``model.calls`` read 7 — three numbers
+    describing one batcher with no recorded relationship.  ``stats()``
+    now carries explicit identities tying every counter to its
+    neighbors; these tests regress them over workloads exercising
+    every path (hit, miss, coalesce, crash, shed, disabled cache).
+    """
+
+    @staticmethod
+    def _assert_consistent(snap):
+        accounting = snap["accounting"]
+        assert accounting["consistent"], accounting["identities"]
+        return accounting
+
+    def test_identities_after_mixed_workload(self, patients_db):
+        service, _model = make_service(patients_db)
+        with service:
+            for question in QUESTIONS:
+                service.translate(question)
+            for question in QUESTIONS:  # pure cache hits
+                service.translate(question)
+            # A concurrent burst on one cold key: coalescing + late hits.
+            futures = [
+                service.submit("how many patients have length of stay 3")
+                for _ in range(8)
+            ]
+            for future in futures:
+                future.result(timeout=10.0)
+            snap = service.stats()
+        accounting = self._assert_consistent(snap)
+        # The exact BENCH regression: batch histogram vs model counters.
+        counters = snap["counters"]
+        histogram = snap["batch_size_histogram"]
+        assert sum(int(s) * n for s, n in histogram.items()) == counters[
+            "model.batched_inputs"
+        ]
+        assert sum(histogram.values()) == counters["batches_total"]
+        assert counters["model.batched_inputs"] == counters["model.calls"]
+        # Every cache miss is tied to a terminal outcome.
+        assert counters["cache.misses"] == (
+            counters.get("flights.opened", 0)
+            + counters.get("singleflight.coalesced", 0)
+            + counters.get("cache.late_hits", 0)
+        )
+        assert len(accounting["identities"]) >= 8
+
+    def test_identities_with_model_failures(self, patients_db):
+        service, model = make_service(patients_db, failure_threshold=2)
+        model.mode = "crash"
+        with service:
+            for question in QUESTIONS:
+                service.translate(question)
+            snap = service.stats()
+        self._assert_consistent(snap)
+        counters = snap["counters"]
+        # Failed inputs + breaker short-circuits cover every batched
+        # input; model.calls stays 0.
+        assert counters.get("model.calls", 0) == 0
+        assert counters["model.batched_inputs"] == (
+            counters.get("model.failed_inputs", 0)
+            + counters.get("breaker.short_circuited", 0)
+        )
+
+    def test_identities_with_cache_disabled(self, patients_db):
+        service, _model = make_service(patients_db, cache_capacity=0)
+        with service:
+            for question in QUESTIONS[:4]:
+                service.translate(question)
+            snap = service.stats()
+        accounting = self._assert_consistent(snap)
+        # Cache identities are simply absent, not trivially true.
+        names = [item["identity"] for item in accounting["identities"]]
+        assert not any("cache_object" in name for name in names)
+
+    def test_identities_survive_queue_shedding(self, patients_db):
+        service, model = make_service(
+            patients_db,
+            workers=1,
+            max_batch_size=1,
+            queue_capacity=1,
+            request_timeout=10.0,
+        )
+        model.mode = "block"
+        with service:
+            first = service.submit(QUESTIONS[0])
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and model.calls < 1:
+                time.sleep(0.002)
+            second = service.submit(QUESTIONS[1])
+            deadline = time.monotonic() + 5.0
+            while (
+                time.monotonic() < deadline
+                and not service._batcher._queue.full()
+            ):
+                time.sleep(0.002)
+            shed = service.translate(QUESTIONS[2])
+            model.release.set()
+            first.result(timeout=10.0)
+            second.result(timeout=10.0)
+            snap = service.stats()
+        assert shed.status == "rejected"
+        self._assert_consistent(snap)
+        assert snap["counters"]["shed.queue_full"] == 1
+
+
+class TestStageTimings:
+    """Busy-vs-wall per-stage timing satellite (ISSUE 8).
+
+    The seed BENCH reported ``preprocess: 5.99s`` inside a 0.94s run —
+    correct (summed across 8 client threads) but unlabeled.  Stage
+    reports now carry both numbers, told apart explicitly, plus a
+    legend in the snapshot.
+    """
+
+    def test_stages_report_busy_and_wall(self, patients_db):
+        service, _model = make_service(patients_db)
+        with service:
+            service.translate(QUESTIONS[0])
+            time.sleep(0.05)
+            service.translate(QUESTIONS[1])
+            snap = service.stats()
+        for stats in snap["stages"].values():
+            assert stats["busy_seconds"] == stats["seconds"]  # legacy alias
+            assert stats["wall_seconds"] >= 0.0
+        # Two sequential preprocess calls 50ms apart: the wall span
+        # includes the idle gap, the busy sum does not.
+        preprocess = snap["stages"]["preprocess"]
+        assert preprocess["calls"] == 2
+        assert preprocess["wall_seconds"] >= 0.05
+        assert preprocess["wall_seconds"] > preprocess["busy_seconds"]
+
+    def test_busy_exceeds_wall_under_concurrency(self, patients_db):
+        from repro.perf.instrumentation import PerfRecorder
+
+        recorder = PerfRecorder()
+        barrier = threading.Barrier(4)
+
+        def worker() -> None:
+            barrier.wait()
+            with recorder.stage("hot"):
+                time.sleep(0.05)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report = recorder.report()["hot"]
+        # 4 overlapping 50ms spans: ~200ms busy inside a ~50ms wall.
+        assert report["busy_seconds"] >= 0.15
+        assert report["wall_seconds"] < report["busy_seconds"]
+
+    def test_snapshot_carries_stage_legend(self, patients_db):
+        service, _model = make_service(patients_db)
+        snap = service.stats()
+        assert set(snap["stages_legend"]) == {"busy_seconds", "wall_seconds"}
+        assert "summed across" in snap["stages_legend"]["busy_seconds"]
+
+
+class TestModelReload:
+    def test_reload_swaps_model_atomically(self, patients_db):
+        service, _model = make_service(patients_db)
+        replacement = ScriptedModel()
+        with service:
+            before = service.translate(QUESTIONS[0])
+            assert before.ok
+            service.reload_model(replacement)
+            # A *new* key must be served by the new model (the old
+            # key's cache entry stays valid — outputs, not state).
+            after = service.translate(QUESTIONS[1])
+        assert after.ok
+        assert replacement.calls == 1
+        assert service.metrics.counter("model.reloads") == 1
+
+    def test_reload_rejects_none(self, patients_db):
+        from repro.errors import ServingError
+
+        service, _model = make_service(patients_db)
+        with pytest.raises(ServingError):
+            service.reload_model(None)
+
+
 class TestCliServe(object):
     def test_serve_command_stdin(self, tmp_path, monkeypatch, capsys):
         import io
