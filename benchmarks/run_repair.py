@@ -1,0 +1,375 @@
+"""Execute–verify–repair benchmark — writes ``BENCH_repair.json``.
+
+Measures what the serving-tier repair loop (PR 9) buys and what it
+costs.  Gold queries from the Patients and Spider-substitute workloads
+stand in for model output; a deterministic AST-level corruptor breaks
+half of them the way a seq2seq actually misses (column typos, table
+typos, placeholder typos, aggregate predicates landing in WHERE).  Two
+arms run over identical inputs:
+
+* ``first_guess`` — the pre-PR path: lint-only (a zero-attempt
+  budget), every candidate served as-is.  Accuracy here is the
+  first-guess translation accuracy.
+* ``repaired``    — the full three-stage loop at the default budget:
+  verify (analyzer), targeted AST repair, execution re-rank against a
+  sampled database through :class:`~repro.adapters.MemoryAdapter`.
+
+Accuracy is placeholder-restored exact match against gold; the p95
+latency delta between the arms is the cost of repair.  The accuracy
+uplift is deterministic (fixed seeds, fixed corruption schedule); the
+latency ratio is hardware-dependent and only gated when
+``speedup_assertable`` says the sample is large enough.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_repair.py [--profile full]
+        [--smoke] [--output BENCH_repair.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.adapters import MemoryAdapter
+from repro.bench import build_patients_benchmark, spider_test_workload
+from repro.db import populate
+from repro.db.index import ValueIndex
+from repro.runtime.parameter_handler import Binding
+from repro.runtime.postprocess import restore_placeholders
+from repro.serving import RepairBudget, RepairPipeline
+from repro.sql import parse, rename_column, rename_table, to_sql
+from repro.sql.ast import Query
+
+try:  # running as `python benchmarks/run_repair.py`
+    from _common import schemas_by_name
+except ImportError:  # running under pytest (benchmarks is not a package)
+    from benchmarks._common import schemas_by_name
+
+PROFILES = {
+    "smoke": {"patients_items": 12, "spider_items_per_schema": 2},
+    "fast": {"patients_items": 60, "spider_items_per_schema": 8},
+    "full": {"patients_items": 0, "spider_items_per_schema": 24},  # 0 = all
+}
+
+SEED = 11
+ROWS_PER_TABLE = 30
+CORRUPT_EVERY = 2  # corrupt every 2nd item (50% broken first guesses)
+
+
+# ----------------------------------------------------------------------
+# Deterministic corruptor: the mistakes a seq2seq actually makes
+# ----------------------------------------------------------------------
+
+
+def _transpose(name: str) -> str:
+    """Swap two interior characters: ``name`` -> ``nmae``-style typo."""
+    if len(name) < 4:
+        return name[::-1]
+    i = len(name) // 2 - 1
+    return name[:i] + name[i + 1] + name[i] + name[i + 2 :]
+
+
+def _corrupt_column(query: Query, schema) -> Query | None:
+    for ref in query.column_refs():
+        if len(ref.column) < 4:
+            continue
+        typo = _transpose(ref.column)
+        if typo == ref.column or any(typo in t for t in schema.tables):
+            continue
+        return rename_column(query, ref.column, typo)
+    return None
+
+
+def _corrupt_table(query: Query, schema) -> Query | None:
+    for table in query.from_tables:
+        typo = table[:-1]  # "patients" -> "patient"
+        if len(table) < 4 or typo in schema:
+            continue
+        return rename_table(query, table, typo)
+    return None
+
+
+def _corrupt_placeholder(query: Query, schema) -> Query | None:
+    from repro.sql import map_placeholders
+
+    for ph in query.placeholders():
+        segment = ph.name.split(".")[-1]
+        typo = _transpose(segment.lower())
+        if typo == segment.lower():
+            continue
+        if any(typo in t for t in schema.tables):
+            continue
+        new_name = ".".join(ph.name.split(".")[:-1] + [typo.upper()])
+
+        def swap(p, old=ph.name, new=new_name):
+            return type(p)(new) if p.name == old else p
+
+        return map_placeholders(query, swap)
+    return None
+
+
+def _corrupt_having(query: Query, schema) -> Query | None:
+    """Move the HAVING predicate into WHERE (aggregate-in-WHERE error)."""
+    from repro.sql.ast import And
+
+    if query.having is None:
+        return None
+    where = query.having if query.where is None else And(query.where, query.having)
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(query, where=where, having=None)
+
+
+CORRUPTIONS = (
+    ("column_typo", _corrupt_column),
+    ("table_typo", _corrupt_table),
+    ("placeholder_typo", _corrupt_placeholder),
+    ("aggregate_in_where", _corrupt_having),
+)
+
+
+def corrupt(query: Query, schema, index: int) -> tuple[Query, str]:
+    """Apply the first applicable corruption, cycling the start by index."""
+    order = [CORRUPTIONS[(index + k) % len(CORRUPTIONS)] for k in range(len(CORRUPTIONS))]
+    for kind, fn in order:
+        broken = fn(query, schema)
+        if broken is not None and to_sql(broken) != to_sql(query):
+            return broken, kind
+    return query, ""
+
+
+# ----------------------------------------------------------------------
+# Placeholder bindings: give every item a concrete, executable form
+# ----------------------------------------------------------------------
+
+
+def bindings_for(query: Query, schema, database) -> list[Binding]:
+    out: list[Binding] = []
+    for ph in query.placeholders():
+        segments = ph.name.lower().split(".")
+        column = segments[-1]
+        value = None
+        tables = (
+            [segments[0]] if len(segments) > 1 else list(query.from_tables)
+        )
+        for table_name in tables:
+            if table_name not in schema:
+                continue
+            table = schema.table(table_name)
+            if column not in table:
+                continue
+            for row in database.scan(table_name):
+                if row.get(column) is not None:
+                    value = row[column]
+                    break
+            if value is not None:
+                break
+        if value is None:
+            value = 10  # un-typed slot (@NUM and friends)
+        out.append(Binding(placeholder=ph.name, value=value))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The two arms
+# ----------------------------------------------------------------------
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    k = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[k]
+
+
+def run_arm(pipeline: RepairPipeline, prepared: list[dict]) -> dict:
+    hits = 0
+    latencies: list[float] = []
+    outcomes: dict[str, int] = {}
+    verified = 0
+    for item in prepared:
+        start = time.perf_counter()
+        report = pipeline.run(item["candidate"], bindings=item["bindings"])
+        latencies.append(time.perf_counter() - start)
+        outcomes[report.outcome] = outcomes.get(report.outcome, 0) + 1
+        if report.verified:
+            verified += 1
+        final = to_sql(restore_placeholders(report.query, item["bindings"]))
+        if final == item["target"]:
+            hits += 1
+    total = len(prepared)
+    return {
+        "items": total,
+        "exact_matches": hits,
+        "accuracy": round(hits / total, 4) if total else 0.0,
+        "verified": verified,
+        "outcomes": outcomes,
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "latency_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+        "latency_mean_ms": round(sum(latencies) / total * 1e3, 3) if total else 0.0,
+    }
+
+
+def prepare_workload(workload, schemas, databases) -> list[dict]:
+    prepared = []
+    for index, item in enumerate(workload):
+        schema = schemas[item.schema_name]
+        database = databases[item.schema_name]
+        bindings = bindings_for(item.sql, schema, database)
+        candidate, kind = (
+            corrupt(item.sql, schema, index)
+            if index % CORRUPT_EVERY == 0
+            else (item.sql, "")
+        )
+        prepared.append(
+            {
+                "candidate": candidate,
+                "bindings": bindings,
+                "corruption": kind,
+                "target": to_sql(restore_placeholders(item.sql, bindings)),
+            }
+        )
+    return prepared
+
+
+def run_benchmark(profile_name: str) -> dict:
+    profile = PROFILES[profile_name]
+    schemas = schemas_by_name()
+    budget = RepairBudget()
+
+    patients = build_patients_benchmark()
+    if profile["patients_items"]:
+        patients = patients.subsample(profile["patients_items"], seed=SEED)
+    spider = spider_test_workload(
+        items_per_schema=profile["spider_items_per_schema"], seed=200
+    )
+
+    record_workloads = {}
+    for workload in (patients, spider):
+        names = {i.schema_name for i in workload}
+        databases = {
+            name: populate(schemas[name], rows_per_table=ROWS_PER_TABLE, seed=SEED)
+            for name in names
+        }
+        prepared = prepare_workload(workload, schemas, databases)
+        corrupted = sum(1 for p in prepared if p["corruption"])
+
+        def pipeline_for(name: str, max_attempts: int) -> RepairPipeline:
+            db = databases[name]
+            return RepairPipeline(
+                db.schema,
+                adapter=MemoryAdapter(db),
+                budget=RepairBudget(
+                    max_attempts=max_attempts,
+                    deadline=budget.deadline,
+                    execute_timeout=budget.execute_timeout,
+                ),
+                value_index=ValueIndex(db),
+            )
+
+        arms = {}
+        for arm_name, attempts in (("first_guess", 0), ("repaired", budget.max_attempts)):
+            pipelines = {name: pipeline_for(name, attempts) for name in names}
+            merged = {
+                "items": 0,
+                "exact_matches": 0,
+                "verified": 0,
+                "outcomes": {},
+                "_latencies": [],
+            }
+            for name in sorted(names):
+                subset = [
+                    p
+                    for p, item in zip(prepared, workload)
+                    if item.schema_name == name
+                ]
+                stats = run_arm(pipelines[name], subset)
+                merged["items"] += stats["items"]
+                merged["exact_matches"] += stats["exact_matches"]
+                merged["verified"] += stats["verified"]
+                for outcome, count in stats["outcomes"].items():
+                    merged["outcomes"][outcome] = (
+                        merged["outcomes"].get(outcome, 0) + count
+                    )
+                merged["_latencies"].extend(
+                    [stats["latency_p50_ms"], stats["latency_p95_ms"]]
+                )
+                merged.setdefault("per_schema", {})[name] = stats
+            per = merged.pop("per_schema", {})
+            lat = [s["latency_p95_ms"] for s in per.values()]
+            merged.pop("_latencies")
+            merged["accuracy"] = (
+                round(merged["exact_matches"] / merged["items"], 4)
+                if merged["items"]
+                else 0.0
+            )
+            merged["latency_p95_ms"] = round(max(lat), 3) if lat else 0.0
+            merged["per_schema"] = per
+            arms[arm_name] = merged
+
+        record_workloads[workload.name] = {
+            "items": len(prepared),
+            "corrupted": corrupted,
+            "corruption_kinds": sorted(
+                {p["corruption"] for p in prepared if p["corruption"]}
+            ),
+            "first_guess": arms["first_guess"],
+            "repaired": arms["repaired"],
+            "accuracy_uplift": round(
+                arms["repaired"]["accuracy"] - arms["first_guess"]["accuracy"], 4
+            ),
+        }
+
+    return {
+        "benchmark": "repair",
+        "profile": profile_name,
+        "seed": SEED,
+        "rows_per_table": ROWS_PER_TABLE,
+        "corrupt_every": CORRUPT_EVERY,
+        "budget": budget.to_dict(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "workloads": record_workloads,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=("fast", "full"), default="full")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload exercising both arms (overrides --profile)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_repair.json"),
+    )
+    args = parser.parse_args(argv)
+    profile = "smoke" if args.smoke else args.profile
+    record = run_benchmark(profile)
+    output = Path(args.output)
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    for name, stats in record["workloads"].items():
+        first = stats["first_guess"]
+        fixed = stats["repaired"]
+        print(
+            f"  {name:<20} {stats['corrupted']}/{stats['items']} corrupted"
+            f"  first-guess {first['accuracy']:.3f}"
+            f" -> repaired {fixed['accuracy']:.3f}"
+            f"  (+{stats['accuracy_uplift']:.3f})"
+            f"  p95 {first['latency_p95_ms']:.1f}ms"
+            f" -> {fixed['latency_p95_ms']:.1f}ms"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ from repro.analysis.corpus_audit import audit_corpus
 from repro.analysis.diagnostics import (
     LINT_CODES,
     Diagnostic,
+    FixHint,
     LintReport,
     Severity,
     make,
@@ -101,6 +102,7 @@ def lint_pipeline_inputs(
 
 __all__ = [
     "Diagnostic",
+    "FixHint",
     "LINT_CODES",
     "LintReport",
     "Severity",

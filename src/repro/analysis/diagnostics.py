@@ -91,12 +91,42 @@ LINT_CODES: dict[str, tuple[Severity, str]] = {
 
 
 @dataclass(frozen=True)
+class FixHint:
+    """Machine-readable repair key attached to a diagnostic.
+
+    Where ``Diagnostic.hint`` is prose for a human, a ``FixHint`` names
+    the offending identifiers so an automated repairer (see
+    :mod:`repro.serving.repair`) can act without parsing messages:
+    ``kind`` is a stable strategy key, ``subject`` the broken
+    identifier, ``table`` its qualifier/owner when known, and
+    ``alternatives`` any candidate replacements the pass already
+    computed (e.g. the owner tables of an ambiguous column).
+    """
+
+    kind: str
+    subject: str = ""
+    table: str = ""
+    alternatives: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        record: dict = {"kind": self.kind}
+        if self.subject:
+            record["subject"] = self.subject
+        if self.table:
+            record["table"] = self.table
+        if self.alternatives:
+            record["alternatives"] = list(self.alternatives)
+        return record
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One finding of an analysis pass.
 
     ``location`` names the analyzed artifact (``"patients:join_select-00"``,
     ``"corpus.jsonl:17"``); ``span`` is the character range inside the
-    analyzed SQL text, when the finding anchors to one.
+    analyzed SQL text, when the finding anchors to one.  ``fix`` is the
+    optional machine-readable counterpart of the prose ``hint``.
     """
 
     code: str
@@ -105,6 +135,7 @@ class Diagnostic:
     location: str = ""
     span: Span | None = None
     hint: str = ""
+    fix: FixHint | None = None
 
     def __str__(self) -> str:
         where = f"{self.location}: " if self.location else ""
@@ -121,6 +152,8 @@ class Diagnostic:
             record["span"] = [self.span.start, self.span.end]
         if self.hint:
             record["hint"] = self.hint
+        if self.fix is not None:
+            record["fix"] = self.fix.to_dict()
         return record
 
 
@@ -131,6 +164,7 @@ def make(
     span: Span | None = None,
     hint: str = "",
     severity: Severity | None = None,
+    fix: FixHint | None = None,
 ) -> Diagnostic:
     """Build a diagnostic, defaulting severity from :data:`LINT_CODES`."""
     try:
@@ -144,6 +178,7 @@ def make(
         location=location,
         span=span,
         hint=hint,
+        fix=fix,
     )
 
 

@@ -13,7 +13,7 @@ scope (the SQL subset has no correlated references).
 
 from __future__ import annotations
 
-from repro.analysis.diagnostics import Diagnostic, make
+from repro.analysis.diagnostics import Diagnostic, FixHint, make
 from repro.errors import SchemaError
 from repro.schema.column import Column, ColumnType
 from repro.schema.schema import Schema
@@ -69,9 +69,16 @@ class _Analyzer:
         self.location = location
         self.diagnostics: list[Diagnostic] = []
 
-    def emit(self, code: str, message: str, span: Span | None = None, hint: str = "") -> None:
+    def emit(
+        self,
+        code: str,
+        message: str,
+        span: Span | None = None,
+        hint: str = "",
+        fix: FixHint | None = None,
+    ) -> None:
         self.diagnostics.append(
-            make(code, message, location=self.location, span=span, hint=hint)
+            make(code, message, location=self.location, span=span, hint=hint, fix=fix)
         )
 
     # ------------------------------------------------------------------
@@ -118,6 +125,7 @@ class _Analyzer:
                     f"@JOIN query references unknown table {table!r} "
                     f"in schema {self.schema.name!r}",
                     span=query.span,
+                    fix=FixHint("unknown_table", subject=table),
                 )
             implied = [t for t in implied if t not in unknown]
             if not implied:
@@ -137,6 +145,7 @@ class _Analyzer:
                     f"@JOIN cannot be expanded: {exc}",
                     span=query.span,
                     hint="add a foreign key connecting the referenced tables",
+                    fix=FixHint("join_path", alternatives=tuple(implied)),
                 )
                 return None
         else:
@@ -147,6 +156,7 @@ class _Analyzer:
                     f"FROM references unknown table {table!r} "
                     f"in schema {self.schema.name!r}",
                     span=query.span,
+                    fix=FixHint("unknown_table", subject=table),
                 )
             names = [t for t in names if t not in unknown]
             if not names:
@@ -160,6 +170,7 @@ class _Analyzer:
                         f"FROM tables cannot be joined: {exc}",
                         span=query.span,
                         hint="add a foreign key connecting the tables",
+                        fix=FixHint("join_path", alternatives=tuple(names)),
                     )
         return [self.schema.table(name) for name in names]
 
@@ -172,6 +183,7 @@ class _Analyzer:
                     "L101",
                     f"reference {ref} names unknown table {ref.table!r}",
                     span=ref.span,
+                    fix=FixHint("unknown_table", subject=ref.table),
                 )
                 return None
             table = self.schema.table(ref.table)
@@ -182,12 +194,16 @@ class _Analyzer:
                     f"not in the FROM scope",
                     span=ref.span,
                     hint="add the table to FROM or drop the qualifier",
+                    fix=FixHint(
+                        "table_not_in_scope", subject=ref.column, table=ref.table
+                    ),
                 )
             if ref.column not in table:
                 self.emit(
                     "L102",
                     f"table {ref.table!r} has no column {ref.column!r}",
                     span=ref.span,
+                    fix=FixHint("unknown_column", subject=ref.column, table=ref.table),
                 )
                 return None
             return table.column(ref.column)
@@ -198,6 +214,7 @@ class _Analyzer:
                 f"column {ref.column!r} exists in no FROM table "
                 f"({', '.join(t.name for t in scope)})",
                 span=ref.span,
+                fix=FixHint("unknown_column", subject=ref.column),
             )
             return None
         if len(owners) > 1:
@@ -207,6 +224,11 @@ class _Analyzer:
                 f"{', '.join(t.name for t in owners)}",
                 span=ref.span,
                 hint="qualify the reference with its table",
+                fix=FixHint(
+                    "ambiguous_column",
+                    subject=ref.column,
+                    alternatives=tuple(t.name for t in owners),
+                ),
             )
             return None
         return owners[0].column(ref.column)
@@ -234,6 +256,11 @@ class _Analyzer:
                 f"{agg.func.value} needs a numeric argument but "
                 f"{agg.arg} has type {column.ctype.value}",
                 span=agg.span,
+                fix=FixHint(
+                    "aggregate_nonnumeric",
+                    subject=agg.arg.column,
+                    table=agg.arg.table or "",
+                ),
             )
 
     def _check_grouping(self, query: Query, scope: list[Table]) -> None:
@@ -242,6 +269,7 @@ class _Analyzer:
                 "L109",
                 "HAVING requires a GROUP BY clause",
                 span=query.span,
+                fix=FixHint("having_without_group_by"),
             )
         if not query.group_by:
             return
@@ -267,6 +295,11 @@ class _Analyzer:
                     f"GROUP BY",
                     span=item.span,
                     hint="add the column to GROUP BY or wrap it in an aggregate",
+                    fix=FixHint(
+                        "ungrouped_select_item",
+                        subject=item.column,
+                        table=item.table or "",
+                    ),
                 )
 
     @staticmethod
@@ -311,6 +344,7 @@ class _Analyzer:
                         f"aggregate {side} is not allowed in WHERE",
                         span=pred.span,
                         hint="move the condition to HAVING",
+                        fix=FixHint("aggregate_in_where"),
                     )
                 self._check_aggregate(side, scope)
             elif isinstance(side, Placeholder):
@@ -335,6 +369,7 @@ class _Analyzer:
                 f"{column.name!r}",
                 span=pred.span,
                 hint="text columns support only = and <>",
+                fix=FixHint("ordering_on_text", subject=column.name),
             )
         if isinstance(other, Literal):
             self._check_literal(column, other)
@@ -366,6 +401,7 @@ class _Analyzer:
                 f"BETWEEN on text column {column.name!r}",
                 span=pred.span,
                 hint="BETWEEN needs an ordered (numeric or date) column",
+                fix=FixHint("between_on_text", subject=column.name),
             )
         for bound in (pred.low, pred.high):
             if isinstance(bound, Placeholder):
@@ -388,6 +424,7 @@ class _Analyzer:
                 "L113",
                 f"LIKE on {column.ctype.value} column {column.name!r}",
                 span=pred.span,
+                fix=FixHint("like_on_nontext", subject=column.name),
             )
         if isinstance(pred.pattern, Placeholder):
             self._check_placeholder(pred.pattern, scope)
@@ -408,6 +445,7 @@ class _Analyzer:
                         f"placeholder {placeholder} names unknown column "
                         f"{first!r}",
                         span=placeholder.span,
+                        fix=FixHint("unknown_placeholder", subject=placeholder.name),
                     )
                 return
             # @TABLE.COL — the qualified constant scheme of join templates.
@@ -416,6 +454,9 @@ class _Analyzer:
                     "L114",
                     f"placeholder {placeholder} names unknown table {first!r}",
                     span=placeholder.span,
+                    fix=FixHint(
+                        "unknown_placeholder", subject=placeholder.name, table=first
+                    ),
                 )
                 return
             if last not in self.schema.table(first):
@@ -424,6 +465,9 @@ class _Analyzer:
                     f"placeholder {placeholder} names unknown column "
                     f"{last!r} of table {first!r}",
                     span=placeholder.span,
+                    fix=FixHint(
+                        "unknown_placeholder", subject=placeholder.name, table=first
+                    ),
                 )
             return
         if not any(name in t for t in scope):
@@ -431,6 +475,7 @@ class _Analyzer:
                 "L114",
                 f"placeholder {placeholder} names unknown column {name!r}",
                 span=placeholder.span,
+                fix=FixHint("unknown_placeholder", subject=placeholder.name),
             )
 
     def _own_placeholders(self, query: Query) -> list[Placeholder]:

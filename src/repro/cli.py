@@ -23,6 +23,11 @@ Commands:
   against a live sqlite database's schema).  Exit status: 0 clean, 4
   findings (errors; with ``--strict`` warnings count too), 1 internal
   error;
+* ``repair``    — run one SQL candidate through the serving tier's
+  execute–verify–repair loop (:mod:`repro.serving.repair`) against a
+  populated sample database, printing the repaired SQL and the full
+  per-step trace.  Exit status: 0 clean or repaired, 4 findings remain
+  (abandoned / budget exhausted), 1 internal error;
 * ``introspect`` — read a sqlite database file into a schema
   (:mod:`repro.adapters`), printing tables/columns/keys and any
   ``L5xx`` introspection diagnostics;
@@ -243,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
         "service (with --replicas: rolling, shard-by-shard, zero "
         "dropped requests)",
     )
+    serve.add_argument(
+        "--repair-budget",
+        type=int,
+        default=-1,
+        metavar="N",
+        help="shorthand for --repair-attempts N: repair/re-lint cycles "
+        "allowed per answer (0 disables the execute-verify-repair loop)",
+    )
     _add_serving_arguments(serve)
 
     bench = sub.add_parser("benchmark", help="evaluate on the Patients benchmark")
@@ -283,6 +296,29 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="resolve --corpus pairs against a sqlite database's "
         "introspected schema",
+    )
+
+    repair = sub.add_parser(
+        "repair",
+        help="run one SQL candidate through the execute-verify-repair loop",
+    )
+    repair.add_argument("schema", help="schema name (see `schemas`)")
+    repair.add_argument("sql", help="candidate SQL text to verify and repair")
+    repair.add_argument(
+        "--rows-per-table", type=int, default=30, help="sample-data size"
+    )
+    repair.add_argument("--seed", type=int, default=7, help="sample-data seed")
+    repair.add_argument(
+        "--attempts", type=int, default=2, help="repair/re-lint cycles allowed"
+    )
+    repair.add_argument(
+        "--deadline",
+        type=float,
+        default=0.25,
+        help="wall-clock budget in seconds for the whole run",
+    )
+    repair.add_argument(
+        "--json", action="store_true", help="machine-readable trace"
     )
 
     introspect = sub.add_parser(
@@ -603,6 +639,15 @@ def _print_serve_stats(service, stats: dict, sharded: bool) -> None:
         if cache:
             print(f"  cache size    {cache['size']}/{cache['capacity']}")
         print(f"  breaker       {stats['breaker']['state']}")
+        repair = stats.get("repair")
+        if repair:
+            counters = stats.get("counters", {})
+            print(
+                f"  repair        {counters.get('repair.repaired', 0)} repaired"
+                f" / {counters.get('repair.requests', 0)} checked"
+                f" ({counters.get('repair.abandoned', 0)} abandoned,"
+                f" {counters.get('repair.budget_exhausted', 0)} exhausted)"
+            )
         _print_stage_table(stats.get("stages", {}))
         accounting = stats.get("accounting")
         if accounting:
@@ -616,6 +661,10 @@ def cmd_serve(args) -> int:
 
     sharded = args.replicas >= 1
     config = _serving_config_from(args)
+    if args.repair_budget >= 0:
+        from dataclasses import replace as dc_replace
+
+        config = dc_replace(config, repair_attempts=args.repair_budget)
     if sharded:
         from repro.serving import ShardSpec, ShardedConfig, ShardedService
 
@@ -851,6 +900,79 @@ def _db_explain_sqlite(query, database, execute: bool) -> int:
     return 0
 
 
+def cmd_repair(args) -> int:
+    """One-shot execute–verify–repair run over a SQL candidate.
+
+    Exit status: 0 when the candidate is clean or was repaired, 4 when
+    findings remain (abandoned / budget exhausted), 1 on internal error
+    (unparseable SQL, unknown schema).
+    """
+    import json as json_module
+
+    from repro.adapters import MemoryAdapter
+    from repro.db.index import ValueIndex
+    from repro.errors import SqlError
+    from repro.runtime.postprocess import PostProcessor
+    from repro.serving import RepairBudget, RepairPipeline
+    from repro.sql.parser import parse
+
+    schema = load_schema(args.schema)
+    database = populate(schema, rows_per_table=args.rows_per_table, seed=args.seed)
+    # Accept the @JOIN shorthand the translator emits, like `db explain`.
+    processed = PostProcessor(schema).process(args.sql)
+    if processed is not None and processed.query is not None:
+        query = processed.query
+    else:
+        try:
+            query = parse(args.sql)
+        except SqlError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    pipeline = RepairPipeline(
+        schema,
+        adapter=MemoryAdapter(database),
+        budget=RepairBudget(max_attempts=args.attempts, deadline=args.deadline),
+        value_index=ValueIndex(database),
+    )
+    report = pipeline.run(query, location="cli")
+    if args.json:
+        print(
+            json_module.dumps(
+                {
+                    "outcome": report.outcome,
+                    "verified": report.verified,
+                    "sql": report.sql,
+                    "trace": report.trace.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"outcome:  {report.outcome} (verified: {report.verified})")
+        print(f"sql:      {report.sql}")
+        trace = report.trace
+        if trace.codes_tried:
+            print(f"codes:    {', '.join(trace.codes_tried)}")
+        for edit in trace.edits:
+            print(f"edit:     [{edit['code']}] {edit['action']}: {edit['detail']}")
+        for execution in trace.executions:
+            print(
+                f"execute:  candidate {execution['candidate']}"
+                f" -> {execution['verdict']} ({execution['detail']})"
+            )
+        budget = trace.budget
+        print(
+            f"budget:   {budget.get('attempts_used', 0)}"
+            f"/{budget.get('max_attempts', 0)} attempts,"
+            f" {budget.get('spent_seconds', 0.0):.4f}s"
+            f"/{budget.get('deadline', 0.0)}s"
+        )
+        if trace.error_code:
+            print(f"error:    {trace.error_code} ({trace.reason})")
+    return EXIT_OK if report.outcome in ("clean", "repaired") else EXIT_LINT_FINDINGS
+
+
 def cmd_introspect(args) -> int:
     import json as json_module
 
@@ -910,6 +1032,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "benchmark": cmd_benchmark,
     "lint": cmd_lint,
+    "repair": cmd_repair,
     "introspect": cmd_introspect,
     "db": cmd_db,
 }

@@ -135,6 +135,78 @@ class FaultPlan:
 NO_FAULTS = FaultPlan()
 
 
+# ----------------------------------------------------------------------
+# Serving-tier repair-loop faults
+# ----------------------------------------------------------------------
+
+#: The execution arm charges ``slow_seconds`` of *virtual* time to the
+#: repair budget (no real sleep) — drives deadline-mid-execute paths.
+SLOW_EXECUTE = "slow_execute"
+#: The repairer re-proposes a candidate it already tried, tripping the
+#: oscillation guard.
+REPAIR_OSCILLATE = "repair_oscillate"
+#: The backend adapter raises :class:`FaultInjected` mid-re-rank.
+ADAPTER_CRASH = "adapter_crash"
+
+#: Kinds injected inside the serving repair pipeline.
+REPAIR_KINDS = frozenset({SLOW_EXECUTE, REPAIR_OSCILLATE, ADAPTER_CRASH})
+
+
+@dataclass(frozen=True)
+class RepairFaultSpec:
+    """One repair-loop injection rule.
+
+    Selectors mirror :class:`FaultSpec` but use repair coordinates:
+    ``run_index`` is the 0-based ordinal of the pipeline run within the
+    service (``None`` = every run) and ``attempts`` bounds how many
+    steps of a matching run fire (step numbers are 0-based per stage).
+    Matching is a pure function of the coordinates, so injected repair
+    failures reproduce across runs exactly like shard faults do — and
+    :data:`SLOW_EXECUTE` charges *virtual* seconds, so budget paths are
+    testable without wall-clock sleeps.
+    """
+
+    kind: str
+    run_index: int | None = None
+    attempts: int = 1
+    #: Virtual seconds charged by :data:`SLOW_EXECUTE`.
+    slow_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in REPAIR_KINDS:
+            raise ValueError(f"unknown repair fault kind {self.kind!r}")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def matches(self, run_index: int, step: int) -> bool:
+        if step >= self.attempts:
+            return False
+        if self.run_index is not None and self.run_index != run_index:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class RepairFaultPlan:
+    """An immutable collection of :class:`RepairFaultSpec` rules."""
+
+    specs: tuple[RepairFaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def find(self, kind: str, run_index: int, step: int) -> RepairFaultSpec | None:
+        """First spec of ``kind`` matching this run/step, or ``None``."""
+        for spec in self.specs:
+            if spec.kind == kind and spec.matches(run_index, step):
+                return spec
+        return None
+
+
+#: The no-op repair plan (shared instance).
+NO_REPAIR_FAULTS = RepairFaultPlan()
+
+
 def fire_shard_fault(spec: FaultSpec, shard_index: int) -> None:
     """Execute a worker-side fault (called from ``synthesize_shard``)."""
     if spec.kind == CRASH:

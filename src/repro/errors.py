@@ -43,6 +43,12 @@ E_UNTRANSLATABLE = "E_UNTRANSLATABLE"
 E_BACKEND = "E_BACKEND"
 E_DIALECT = "E_DIALECT"
 
+#: Serving-tier repair loop (see :mod:`repro.serving.repair`) ----------
+E_REPAIR_BUDGET = "E_REPAIR_BUDGET"
+E_REPAIR_UNFIXABLE = "E_REPAIR_UNFIXABLE"
+E_REPAIR_OSCILLATION = "E_REPAIR_OSCILLATION"
+E_REPAIR_EXEC = "E_REPAIR_EXEC"
+
 #: code -> human description.  The single registry; every code used in
 #: a quarantine report, manifest, or ServingResponse appears here.
 ERROR_CODES: dict[str, str] = {
@@ -61,6 +67,10 @@ ERROR_CODES: dict[str, str] = {
     E_UNTRANSLATABLE: "input cannot be translated",
     E_BACKEND: "backend adapter failed to connect, execute, or introspect",
     E_DIALECT: "construct is not expressible in the target SQL dialect",
+    E_REPAIR_BUDGET: "repair budget exhausted before a verified candidate",
+    E_REPAIR_UNFIXABLE: "no repair strategy applies to the diagnostics",
+    E_REPAIR_OSCILLATION: "repair loop revisited a candidate it already tried",
+    E_REPAIR_EXEC: "repaired candidate failed execution verification",
 }
 
 #: Serving wire codes (``ServiceFailure.code``, kept short for the API
@@ -74,6 +84,10 @@ _SERVING_WIRE_CODES = {
     "backend_error": E_BACKEND,
     "worker_died": E_WORKER_DIED,
     "unsupported_dialect": E_DIALECT,
+    "repair_budget": E_REPAIR_BUDGET,
+    "repair_unfixable": E_REPAIR_UNFIXABLE,
+    "repair_oscillation": E_REPAIR_OSCILLATION,
+    "repair_exec": E_REPAIR_EXEC,
 }
 
 

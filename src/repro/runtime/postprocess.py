@@ -188,6 +188,17 @@ def _restore_placeholders(query: Query, bindings: list[Binding]) -> Query:
     return _transform_query(query, resolver)
 
 
+def restore_placeholders(query: Query, bindings: list[Binding]) -> Query:
+    """Re-bind anonymization-map constants into ``query``'s placeholders.
+
+    Public entry point for callers outside the post-processing pass —
+    notably the serving repair loop, which renames a placeholder's
+    column segment and must then re-run constant restoration.
+    Placeholders with no matching binding are left visible.
+    """
+    return _restore_placeholders(query, bindings)
+
+
 def _transform_query(query: Query, resolver: _Resolver) -> Query:
     where = _transform_pred(query.where, resolver) if query.where else None
     having = _transform_pred(query.having, resolver) if query.having else None

@@ -22,6 +22,13 @@ from repro.serving.front_door import ShardedService
 from repro.serving.hashring import HashRing
 from repro.serving.limits import CircuitBreaker, TokenBucket
 from repro.serving.metrics import MetricsRegistry, merge_shard_stats, percentile
+from repro.serving.repair import (
+    QueryRepairer,
+    RepairBudget,
+    RepairPipeline,
+    RepairReport,
+    RepairTrace,
+)
 from repro.serving.service import (
     ServiceFailure,
     ServingResponse,
@@ -37,6 +44,11 @@ __all__ = [
     "KeywordFallback",
     "MetricsRegistry",
     "MicroBatcher",
+    "QueryRepairer",
+    "RepairBudget",
+    "RepairPipeline",
+    "RepairReport",
+    "RepairTrace",
     "ServiceFailure",
     "ServingConfig",
     "ServingResponse",

@@ -62,6 +62,21 @@ class ServingConfig:
         deterministic over a fixed database; it removes the
         anonymization cost for repeated identical questions, which
         dominate real traffic.
+
+    Repair (see :mod:`repro.serving.repair`)
+    ----------------------------------------
+    repair_attempts:
+        Repair→re-lint cycles allowed per candidate (``0`` disables the
+        execute–verify–repair loop entirely; responses are then
+        byte-identical to a service built without it).
+    repair_deadline:
+        Wall-clock budget in seconds for one whole repair run (lint +
+        repair + execution re-rank); the loop degrades when it expires.
+    repair_execute_timeout:
+        Seconds one execution-verification step may take before its
+        verdict is demoted to ``timeout``.
+    repair_max_rows:
+        Row cap per execution-verification query.
     """
 
     workers: int = 2
@@ -77,6 +92,10 @@ class ServingConfig:
     cache_ttl: float = 300.0
     serve_stale_on_degrade: bool = True
     preprocess_cache_capacity: int = 4096
+    repair_attempts: int = 2
+    repair_deadline: float = 0.25
+    repair_execute_timeout: float = 0.1
+    repair_max_rows: int = 100
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -101,6 +120,14 @@ class ServingConfig:
             raise ServingError("cache_capacity must be >= 0")
         if self.preprocess_cache_capacity < 0:
             raise ServingError("preprocess_cache_capacity must be >= 0")
+        if self.repair_attempts < 0:
+            raise ServingError("repair_attempts must be >= 0")
+        if self.repair_deadline <= 0:
+            raise ServingError("repair_deadline must be > 0")
+        if self.repair_execute_timeout <= 0:
+            raise ServingError("repair_execute_timeout must be > 0")
+        if self.repair_max_rows < 1:
+            raise ServingError("repair_max_rows must be >= 1")
 
     def to_dict(self) -> dict:
         """Plain-dict view (JSON-ready, same field order as declared)."""

@@ -5,16 +5,21 @@ nothing parseable) the service degrades to this deterministic
 translator: match the question's lemmatized tokens against the schema's
 NL annotations, pick the best-covered table, and emit a simple
 projection over the matched columns (``SELECT col, ... FROM table`` or
-``SELECT * FROM table``).  The output is always parseable by
-:mod:`repro.sql`, so a degraded response is still a *runnable* query —
-a coarse answer beats a stack trace under partial outage.
+``SELECT * FROM table``).  Every candidate is verified through the
+semantic analyzer before it is returned: the fallback either emits a
+lint-clean, runnable query or ``None`` — never a plausible-looking
+string that fails downstream.  A coarse answer beats a stack trace
+under partial outage, but a *broken* answer beats neither.
 """
 
 from __future__ import annotations
 
+from repro.analysis.diagnostics import Severity
+from repro.analysis.sql_semantics import analyze_query
 from repro.nlp.lemmatizer import lemmatize
 from repro.nlp.tokenizer import tokenize
 from repro.schema.schema import Schema
+from repro.sql import parse
 
 
 def _phrase_token_set(phrases) -> frozenset[str]:
@@ -65,4 +70,14 @@ class KeywordFallback:
             column for table, column, _score in column_hits if table == best_table
         ]
         projection = ", ".join(dict.fromkeys(columns)) if columns else "*"
-        return f"SELECT {projection} FROM {best_table}"
+        candidate = f"SELECT {projection} FROM {best_table}"
+        return candidate if self._verify(candidate) else None
+
+    def _verify(self, sql: str) -> bool:
+        """Whether the candidate parses and passes the ``L1xx`` lint pass."""
+        try:
+            query = parse(sql)
+        except Exception:  # noqa: BLE001 — unverifiable is unservable
+            return False
+        diagnostics = analyze_query(query, self.schema, location="fallback")
+        return not any(d.severity is Severity.ERROR for d in diagnostics)

@@ -165,6 +165,10 @@ def merge_shard_stats(shard_stats: Sequence[dict], elapsed: float) -> dict:
     * **cache** counters are summed and the aggregate hit rate is
       recomputed from the sums (this is the number the shard-exclusive
       routing is supposed to keep at the single-process level);
+    * **repair** per-shard counters are summed (they ride the counter
+      merge) and additionally rolled up into a ``repair`` section with a
+      cluster-wide repair rate, present whenever any shard reports the
+      loop enabled;
     * **stages** sum ``busy_seconds``/``calls``/``items`` across shards
       and take the max ``wall_seconds`` (per-process clocks do not
       share an epoch, so spans cannot be unioned across processes);
@@ -180,7 +184,10 @@ def merge_shard_stats(shard_stats: Sequence[dict], elapsed: float) -> dict:
     cache_totals: Counter[str] = Counter()
     stages: dict[str, dict[str, float]] = {}
     cache_seen = False
+    repair_seen = False
     for snap in shard_stats:
+        if snap.get("repair"):
+            repair_seen = True
         counters.update(snap.get("counters", {}))
         samples.extend(snap.get("latency_samples", []))
         batch_sizes.update(snap.get("batch_size_histogram", {}))
@@ -219,6 +226,23 @@ def merge_shard_stats(shard_stats: Sequence[dict], elapsed: float) -> dict:
         merged_cache["hit_rate"] = (
             round(cache_totals["hits"] / obj_lookups, 4) if obj_lookups else 0.0
         )
+    merged_repair = None
+    if repair_seen:
+        requests = counters.get("repair.requests", 0)
+        merged_repair = {
+            "requests": requests,
+            "clean": counters.get("repair.clean", 0),
+            "attempted": counters.get("repair.attempted", 0),
+            "repaired": counters.get("repair.repaired", 0),
+            "abandoned": counters.get("repair.abandoned", 0),
+            "budget_exhausted": counters.get("repair.budget_exhausted", 0),
+            "verified": counters.get("repair.verified", 0),
+            "repair_rate": (
+                round(counters.get("repair.repaired", 0) / requests, 4)
+                if requests
+                else 0.0
+            ),
+        }
     return {
         "shards_reporting": len(shard_stats),
         "uptime_seconds": round(elapsed, 3),
@@ -233,6 +257,7 @@ def merge_shard_stats(shard_stats: Sequence[dict], elapsed: float) -> dict:
         },
         "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
         "cache": merged_cache,
+        "repair": merged_repair,
         "batch_size_histogram": {
             str(k): v for k, v in sorted(batch_sizes.items(), key=lambda i: int(i[0]))
         },

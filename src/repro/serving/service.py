@@ -33,6 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro.core.faults import NO_REPAIR_FAULTS, RepairFaultPlan
 from repro.errors import ServingError, TranslationError
 from repro.neural.base import TranslationModel
 from repro.perf.instrumentation import PerfRecorder
@@ -44,6 +45,14 @@ from repro.serving.config import ServingConfig
 from repro.serving.fallback import KeywordFallback
 from repro.serving.limits import CircuitBreaker, TokenBucket
 from repro.serving.metrics import MetricsRegistry
+from repro.serving.repair import (
+    ABANDONED as REPAIR_ABANDONED,
+    CLEAN as REPAIR_CLEAN,
+    EXHAUSTED as REPAIR_EXHAUSTED,
+    REPAIRED as REPAIR_REPAIRED,
+    RepairBudget,
+    RepairPipeline,
+)
 
 #: Response statuses.
 OK = "ok"
@@ -98,6 +107,11 @@ class ServingResponse:
     result: TranslationResult | None = None
     failure: ServiceFailure | None = None
     latency: float = 0.0
+    #: Structured trace of the execute–verify–repair loop (a plain dict,
+    #: see :class:`repro.serving.repair.RepairTrace`); ``None`` whenever
+    #: the loop did not touch this response — disabled, no SQL to
+    #: verify, or a failure short-circuited before post-processing.
+    repair: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -127,7 +141,7 @@ class ServingResponse:
 
     def to_dict(self) -> dict:
         """JSON-ready view (for the CLI's machine-readable output)."""
-        return {
+        record = {
             "request_id": self.request_id,
             "nl": self.nl,
             "status": self.status,
@@ -143,6 +157,11 @@ class ServingResponse:
             },
             "latency": round(self.latency, 6),
         }
+        # Only present when the repair loop ran: a zero-attempt budget
+        # must keep this view byte-identical to a pre-repair service.
+        if self.repair is not None:
+            record["repair"] = self.repair
+        return record
 
 
 #: Flight outcome statuses (model side of a single-flight future).
@@ -182,6 +201,7 @@ class TranslationService:
         config: ServingConfig | None = None,
         recorder: PerfRecorder | None = None,
         clock=time.monotonic,
+        repair_faults: RepairFaultPlan = NO_REPAIR_FAULTS,
     ) -> None:
         if nlidb.model is None:
             raise ServingError("cannot serve an untrained DBPal (model is None)")
@@ -199,6 +219,25 @@ class TranslationService:
         self.breaker = CircuitBreaker(cfg.failure_threshold, cfg.cooldown, clock=clock)
         self._bucket = TokenBucket(cfg.rate_limit, cfg.burst, clock=clock)
         self._fallback = KeywordFallback(nlidb.database.schema)
+        self._last_repair_trace: dict | None = None
+        if cfg.repair_attempts > 0:
+            from repro.adapters import MemoryAdapter
+
+            self._repair: RepairPipeline | None = RepairPipeline(
+                nlidb.database.schema,
+                adapter=nlidb.backend or MemoryAdapter(nlidb.executor),
+                budget=RepairBudget(
+                    max_attempts=cfg.repair_attempts,
+                    deadline=cfg.repair_deadline,
+                    execute_timeout=cfg.repair_execute_timeout,
+                    max_rows=cfg.repair_max_rows,
+                ),
+                value_index=nlidb.preprocessor.value_index,
+                faults=repair_faults,
+                clock=clock,
+            )
+        else:
+            self._repair = None
         # Preprocessing is deterministic over a fixed database, so the
         # raw question string is a sound memo key; lru_cache is
         # thread-safe and cheap enough for the admission path.
@@ -393,6 +432,15 @@ class TranslationService:
         snap = self.metrics.snapshot()
         snap["cache"] = self.cache.stats() if self.cache is not None else None
         snap["breaker"] = self.breaker.stats()
+        snap["repair"] = (
+            None
+            if self._repair is None
+            else {
+                "enabled": True,
+                "budget": self._repair.budget.to_dict(),
+                "last_trace": self._last_repair_trace,
+            }
+        )
         with self._recorder_lock:
             snap["stages"] = self.recorder.report()
         snap["stages_legend"] = dict(self.STAGES_LEGEND)
@@ -475,6 +523,24 @@ class TranslationService:
                         "cache_object.stale_hits == cache.stale_hits",
                         cache["stale_hits"],
                         c.get("cache.stale_hits", 0),
+                    ),
+                ]
+            )
+        if self._repair is not None:
+            identities.extend(
+                [
+                    identity(
+                        "repair.requests == repair.clean + repair.attempted",
+                        c.get("repair.requests", 0),
+                        c.get("repair.clean", 0) + c.get("repair.attempted", 0),
+                    ),
+                    identity(
+                        "repair.attempted == repair.repaired + repair.abandoned"
+                        " + repair.budget_exhausted",
+                        c.get("repair.attempted", 0),
+                        c.get("repair.repaired", 0)
+                        + c.get("repair.abandoned", 0)
+                        + c.get("repair.budget_exhausted", 0),
                     ),
                 ]
             )
@@ -599,8 +665,9 @@ class TranslationService:
         result = self._postprocess(nl, pre, model_output)
         if result.query is None:
             return self._degrade(request_id, nl, pre, model_down=False)
+        trace = self._maybe_repair(result)
         return ServingResponse(
-            request_id, nl, status=OK, source=source, result=result
+            request_id, nl, status=OK, source=source, result=result, repair=trace
         )
 
     def _degrade(
@@ -629,23 +696,27 @@ class TranslationService:
                 if stale is not None and stale.value is not None:
                     result = self._postprocess(nl, pre, stale.value)
                     if result.query is not None:
+                        trace = self._maybe_repair(result)
                         return ServingResponse(
                             request_id,
                             nl,
                             status=DEGRADED,
                             source=SOURCE_CACHE,
                             result=result,
+                            repair=trace,
                         )
             fallback_sql = self._fallback.translate(pre.model_input)
             if fallback_sql is not None:
                 result = self._postprocess(nl, pre, fallback_sql)
                 if result.query is not None:
+                    trace = self._maybe_repair(result)
                     return ServingResponse(
                         request_id,
                         nl,
                         status=DEGRADED,
                         source=SOURCE_FALLBACK,
                         result=result,
+                        repair=trace,
                     )
         finally:
             self._record("fallback", self._clock() - t0)
@@ -662,6 +733,44 @@ class TranslationService:
             source=SOURCE_NONE,
             failure=ServiceFailure(code, message, retryable=model_down),
         )
+
+    def _maybe_repair(self, result: TranslationResult) -> dict | None:
+        """Run the execute–verify–repair loop over one translated result.
+
+        Mutates ``result`` in place when a repaired candidate is
+        accepted; returns the structured trace dict for the response (or
+        ``None`` when the loop is disabled).  Never raises — the
+        pipeline converts every internal failure into an ``abandoned``
+        trace, and abandonment serves the original answer unchanged.
+        """
+        if self._repair is None or result.query is None:
+            return None
+        t0 = self._clock()
+        report = self._repair.run(
+            result.query, bindings=result.bindings, location="serving"
+        )
+        self._record("repair", self._clock() - t0)
+        self.metrics.increment("repair.requests")
+        if report.outcome == REPAIR_CLEAN:
+            self.metrics.increment("repair.clean")
+        else:
+            self.metrics.increment("repair.attempted")
+            self.metrics.increment(
+                {
+                    REPAIR_REPAIRED: "repair.repaired",
+                    REPAIR_ABANDONED: "repair.abandoned",
+                    REPAIR_EXHAUSTED: "repair.budget_exhausted",
+                }[report.outcome]
+            )
+            if report.verified:
+                self.metrics.increment("repair.verified")
+        if report.accepted:
+            result.query = report.query
+            result.sql = report.sql
+            result.repaired = True
+        trace = report.trace.to_dict()
+        self._last_repair_trace = trace
+        return trace
 
     def _postprocess(
         self, nl: str, pre: PreprocessedQuery, model_output: str

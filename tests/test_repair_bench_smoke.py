@@ -1,0 +1,51 @@
+"""Tier-1 smoke run of the execute–verify–repair benchmark.
+
+``benchmarks/run_repair.py`` is executed end-to-end in miniature
+(``--smoke`` shrinks both workloads) so the benchmark cannot rot out
+from under the repair loop: the corruptor must break queries, the
+``first_guess`` arm must miss them, and the ``repaired`` arm must win
+them back at the default budget.  The headline accuracy/latency claims
+are judged on the ``full`` profile (``BENCH_repair.json``), not here.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+pytestmark = pytest.mark.repair
+
+
+def test_smoke_run_writes_valid_record(tmp_path):
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        from run_repair import main
+    finally:
+        sys.path.remove(str(BENCHMARKS_DIR))
+
+    output = tmp_path / "BENCH_repair.json"
+    exit_code = main(["--smoke", "--output", str(output)])
+    assert exit_code == 0
+
+    record = json.loads(output.read_text(encoding="utf-8"))
+    assert record["benchmark"] == "repair"
+    assert record["profile"] == "smoke"
+    assert set(record["workloads"]) == {"patients", "spider-substitute"}
+    for name, stats in record["workloads"].items():
+        # The corruptor actually broke a fraction of first guesses...
+        assert 0 < stats["corrupted"] < stats["items"], name
+        first, fixed = stats["first_guess"], stats["repaired"]
+        assert first["accuracy"] < 1.0, name
+        # ...and the repair loop won some of them back, deterministically.
+        assert stats["accuracy_uplift"] > 0, (name, stats)
+        assert fixed["accuracy"] > first["accuracy"]
+        # The zero-attempt arm never repairs; the full arm never raises
+        # (every item lands in a terminal outcome).
+        assert "repaired" not in first["outcomes"], name
+        assert sum(first["outcomes"].values()) == stats["items"]
+        assert sum(fixed["outcomes"].values()) == stats["items"]
+        # Execution re-rank verified at least one repair.
+        assert fixed["verified"] > 0, name

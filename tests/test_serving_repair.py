@@ -1,0 +1,485 @@
+"""The budgeted execute–verify–repair loop (:mod:`repro.serving.repair`).
+
+Covers the pipeline's three stages and every terminal outcome, the
+deterministic fault hooks (slow-execute, oscillation, adapter crash),
+the service integration (counters, accounting identities, trace
+plumbing, zero-attempt bit-identity), the lint-gated keyword fallback,
+and the cross-shard repair rollup.
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.adapters import MemoryAdapter
+from repro.analysis import FixHint, Severity, analyze_query
+from repro.core.faults import (
+    ADAPTER_CRASH,
+    NO_REPAIR_FAULTS,
+    REPAIR_OSCILLATE,
+    SLOW_EXECUTE,
+    RepairFaultPlan,
+    RepairFaultSpec,
+)
+from repro.db import populate
+from repro.db.index import ValueIndex
+from repro.errors import (
+    E_REPAIR_BUDGET,
+    E_REPAIR_EXEC,
+    E_REPAIR_OSCILLATION,
+    E_REPAIR_UNFIXABLE,
+    ServingError,
+)
+from repro.neural.base import TranslationModel
+from repro.runtime import DBPal
+from repro.schema import load_schema
+from repro.serving import (
+    KeywordFallback,
+    RepairBudget,
+    RepairPipeline,
+    ServingConfig,
+    TranslationService,
+    merge_shard_stats,
+)
+from repro.sql import parse, to_sql
+
+pytestmark = pytest.mark.repair
+
+
+@pytest.fixture(scope="module")
+def university():
+    return load_schema("university")
+
+
+@pytest.fixture(scope="module")
+def university_db(university):
+    return populate(university, rows_per_table=25, seed=4)
+
+
+def make_pipeline(db, **kwargs):
+    kwargs.setdefault("adapter", MemoryAdapter(db))
+    kwargs.setdefault("value_index", ValueIndex(db))
+    return RepairPipeline(db.schema, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Budget
+# ----------------------------------------------------------------------
+
+
+class TestRepairBudget:
+    def test_defaults_enabled(self):
+        assert RepairBudget().enabled
+
+    def test_zero_attempts_disables(self):
+        assert not RepairBudget(max_attempts=0).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": -1},
+            {"deadline": 0.0},
+            {"execute_timeout": 0.0},
+            {"max_candidates": 0},
+            {"max_rows": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ServingError):
+            RepairBudget(**kwargs)
+
+
+class TestRepairFaultSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RepairFaultSpec("meteor_strike")
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RepairFaultSpec(SLOW_EXECUTE, attempts=0)
+
+    def test_matching(self):
+        spec = RepairFaultSpec(ADAPTER_CRASH, run_index=3, attempts=2)
+        assert spec.matches(3, 0) and spec.matches(3, 1)
+        assert not spec.matches(3, 2)  # step past attempts
+        assert not spec.matches(4, 0)  # wrong run
+        plan = RepairFaultPlan((spec,))
+        assert plan and plan.find(ADAPTER_CRASH, 3, 0) is spec
+        assert plan.find(SLOW_EXECUTE, 3, 0) is None
+        assert not NO_REPAIR_FAULTS
+
+
+# ----------------------------------------------------------------------
+# Fix hints (machine-readable repair keys on diagnostics)
+# ----------------------------------------------------------------------
+
+
+class TestFixHints:
+    def test_unknown_column_hint(self, patients):
+        diags = analyze_query(parse("SELECT nmae FROM patients"), patients)
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert errors and errors[0].fix == FixHint("unknown_column", subject="nmae")
+        assert errors[0].to_dict()["fix"]["kind"] == "unknown_column"
+
+    def test_unknown_table_hint(self, patients):
+        diags = analyze_query(parse("SELECT x FROM starships"), patients)
+        kinds = {d.fix.kind for d in diags if d.fix is not None}
+        assert "unknown_table" in kinds
+
+    def test_scope_hint_names_table(self, university):
+        diags = analyze_query(parse("SELECT student.name FROM course"), university)
+        hints = [d.fix for d in diags if d.fix is not None]
+        assert any(
+            h.kind == "table_not_in_scope" and h.table == "student" for h in hints
+        )
+
+
+# ----------------------------------------------------------------------
+# Pipeline outcomes
+# ----------------------------------------------------------------------
+
+
+class TestPipelineOutcomes:
+    def test_clean_passthrough(self, patients_db):
+        pipe = make_pipeline(patients_db)
+        report = pipe.run(parse("SELECT COUNT(*) FROM patients"))
+        assert report.outcome == "clean" and not report.accepted
+        assert report.trace.to_dict()["outcome"] == "clean"
+        assert report.trace.budget["attempts_used"] == 0
+
+    def test_unknown_column_repaired_and_verified(self, patients_db):
+        pipe = make_pipeline(patients_db)
+        report = pipe.run(parse("SELECT nmae FROM patients"))
+        assert report.outcome == "repaired" and report.verified
+        assert report.sql == "SELECT name FROM patients"
+        trace = report.trace.to_dict()
+        assert trace["codes_tried"] == ["L102"]
+        assert trace["edits"][0]["action"] == "rename_column"
+        assert trace["executions"][0]["verdict"] == "ok"
+        assert trace["budget"]["attempts_used"] >= 1
+
+    def test_unknown_table_repaired(self, patients_db):
+        pipe = make_pipeline(patients_db)
+        report = pipe.run(parse("SELECT COUNT(*) FROM patient"))
+        assert report.outcome == "repaired" and report.verified
+        assert report.sql == "SELECT COUNT(*) FROM patients"
+
+    def test_sum_on_text_becomes_count(self, patients_db):
+        pipe = make_pipeline(patients_db)
+        report = pipe.run(parse("SELECT SUM(name) FROM patients"))
+        assert report.outcome == "repaired"
+        assert report.sql == "SELECT COUNT(name) FROM patients"
+
+    def test_aggregate_in_where_moves_to_having(self, patients_db):
+        pipe = make_pipeline(patients_db)
+        report = pipe.run(parse("SELECT name FROM patients WHERE COUNT(*) > 2"))
+        assert report.outcome == "repaired"
+        assert "HAVING COUNT(*) > 2" in report.sql
+        assert "GROUP BY name" in report.sql
+
+    def test_out_of_scope_table_joined_in(self, university_db):
+        pipe = make_pipeline(university_db)
+        report = pipe.run(parse("SELECT student.name FROM department"))
+        assert report.outcome == "repaired"
+        assert "student" in report.query.from_tables
+        # The FK equality condition was inferred, not a cross product.
+        assert "WHERE" in report.sql
+
+    def test_unfixable_abandons_with_original(self, patients_db):
+        pipe = make_pipeline(patients_db)
+        original = "SELECT warp_core FROM starships"
+        report = pipe.run(parse(original))
+        assert report.outcome == "abandoned" and not report.accepted
+        assert report.sql == original  # never downgrades the caller's answer
+        assert report.trace.error_code == E_REPAIR_UNFIXABLE
+
+    def test_run_never_raises(self, patients_db):
+        class ExplodingAdapter:
+            def execute(self, query, max_rows=None):
+                raise RuntimeError("boom")
+
+        pipe = make_pipeline(patients_db, adapter=ExplodingAdapter())
+        report = pipe.run(parse("SELECT nmae FROM patients"))
+        # Execution refuted the candidate; the original is served.
+        assert report.outcome == "abandoned"
+        assert report.trace.error_code == E_REPAIR_EXEC
+        assert report.sql == "SELECT nmae FROM patients"
+
+    def test_no_adapter_serves_unverified(self, patients_db):
+        pipe = make_pipeline(patients_db, adapter=None)
+        report = pipe.run(parse("SELECT nmae FROM patients"))
+        assert report.outcome == "repaired" and not report.verified
+        assert report.trace.executions == []
+
+
+# ----------------------------------------------------------------------
+# Budget exhaustion and fault hooks
+# ----------------------------------------------------------------------
+
+
+class TestBudgetEdges:
+    def test_deadline_before_repair_exhausts(self, patients_db):
+        ticks = iter(i * 0.3 for i in range(100))
+        pipe = make_pipeline(
+            patients_db,
+            budget=RepairBudget(max_attempts=2, deadline=0.25),
+            clock=lambda: next(ticks),
+        )
+        report = pipe.run(parse("SELECT nmae FROM patients"))
+        assert report.outcome == "budget_exhausted"
+        assert report.trace.error_code == E_REPAIR_BUDGET
+        assert report.trace.budget["exhausted"]
+        assert report.sql == "SELECT nmae FROM patients"
+
+    def test_slow_execute_charges_virtual_time_no_sleep(self, patients_db):
+        faults = RepairFaultPlan(
+            (RepairFaultSpec(SLOW_EXECUTE, slow_seconds=3600.0),)
+        )
+        pipe = make_pipeline(patients_db, faults=faults)
+        report = pipe.run(parse("SELECT nmae FROM patients"))
+        # The candidate's execution "took an hour": verdict demoted to
+        # timeout, but the lint-clean candidate is still served
+        # (best-unverified beats nothing).
+        assert report.outcome == "repaired" and not report.verified
+        assert report.trace.executions[0]["verdict"] == "timeout"
+        assert report.trace.budget["spent_seconds"] >= 3600.0
+        assert report.trace.budget["exhausted"]
+
+    def test_oscillation_fault_abandons(self, patients_db):
+        faults = RepairFaultPlan((RepairFaultSpec(REPAIR_OSCILLATE, attempts=5),))
+        pipe = make_pipeline(patients_db, faults=faults)
+        report = pipe.run(parse("SELECT nmae FROM patients"))
+        assert report.outcome == "abandoned"
+        assert report.trace.error_code == E_REPAIR_OSCILLATION
+
+    def test_adapter_crash_fault_mid_rerank(self, patients_db):
+        faults = RepairFaultPlan((RepairFaultSpec(ADAPTER_CRASH, attempts=5),))
+        pipe = make_pipeline(patients_db, faults=faults)
+        report = pipe.run(parse("SELECT nmae FROM patients"))
+        assert report.outcome == "abandoned"
+        assert report.trace.error_code == E_REPAIR_EXEC
+        assert "FaultInjected" in report.trace.executions[0]["detail"]
+
+    def test_fault_scoped_to_one_run(self, patients_db):
+        faults = RepairFaultPlan((RepairFaultSpec(ADAPTER_CRASH, run_index=0),))
+        pipe = make_pipeline(patients_db, faults=faults)
+        first = pipe.run(parse("SELECT nmae FROM patients"))
+        second = pipe.run(parse("SELECT nmae FROM patients"))
+        assert first.outcome == "abandoned"
+        assert second.outcome == "repaired" and second.verified
+
+
+# ----------------------------------------------------------------------
+# Service integration
+# ----------------------------------------------------------------------
+
+
+class ScriptedModel(TranslationModel):
+    def __init__(self, sql="SELECT COUNT(*) FROM patients"):
+        self.sql = sql
+        self.mode = "ok"
+        self._lock = threading.Lock()
+
+    def fit(self, pairs, **kwargs):
+        pass
+
+    def translate(self, nl):
+        return self.translate_batch([nl])[0]
+
+    def translate_batch(self, nls):
+        if self.mode == "crash":
+            raise RuntimeError("injected model crash")
+        return [self.sql for _ in nls]
+
+
+def make_service(patients_db, sql="SELECT COUNT(*) FROM patients", **config_kwargs):
+    model = ScriptedModel(sql)
+    defaults = dict(workers=2, batch_window=0.002, request_timeout=5.0)
+    defaults.update(config_kwargs)
+    service = TranslationService(DBPal(patients_db, model), ServingConfig(**defaults))
+    return service, model
+
+
+class TestServiceIntegration:
+    def test_clean_output_untouched(self, patients_db):
+        service, _ = make_service(patients_db)
+        with service:
+            response = service.translate("how many patients are there")
+        assert response.ok and response.sql == "SELECT COUNT(*) FROM patients"
+        assert response.repair is not None
+        assert response.repair["outcome"] == "clean"
+        assert service.metrics.counter("repair.clean") == 1
+        assert service.metrics.counter("repair.attempted") == 0
+
+    def test_broken_output_repaired(self, patients_db):
+        service, _ = make_service(patients_db, sql="SELECT nmae FROM patients")
+        with service:
+            response = service.translate("show the name of every patient")
+        assert response.ok and response.sql == "SELECT name FROM patients"
+        assert response.result.repaired
+        assert response.repair["outcome"] == "repaired"
+        assert response.repair["verified"]
+        assert service.metrics.counter("repair.repaired") == 1
+        record = response.to_dict()
+        assert record["repair"]["outcome"] == "repaired"
+        json.dumps(record)  # trace must be JSON-ready
+
+    def test_response_with_trace_pickles(self, patients_db):
+        # Sharded serving ships responses through a process pipe.
+        service, _ = make_service(patients_db, sql="SELECT nmae FROM patients")
+        with service:
+            response = service.translate("show the name of every patient")
+        clone = pickle.loads(pickle.dumps(response))
+        assert clone.repair == response.repair
+
+    def test_zero_attempt_budget_is_bit_identical(self, patients_db):
+        enabled, _ = make_service(patients_db)
+        disabled, _ = make_service(patients_db, repair_attempts=0)
+        question = "how many patients are there"
+        with enabled, disabled:
+            on = enabled.translate(question)
+            off = disabled.translate(question)
+        assert off.repair is None
+        assert "repair" not in off.to_dict()
+        assert on.payload() == off.payload()
+        # And the whole JSON view matches a pre-repair service's,
+        # modulo the per-process request id and latency.
+        off_record = off.to_dict()
+        assert set(off_record) == {
+            "request_id", "nl", "status", "source", "sql", "failure", "latency",
+        }
+        # Disabled loop: no pipeline, no counters, no identities.
+        stats = disabled.stats()
+        assert stats["repair"] is None
+        assert all(
+            not item["identity"].startswith("repair.")
+            for item in stats["accounting"]["identities"]
+        )
+
+    def test_accounting_identities_hold(self, patients_db):
+        service, model = make_service(patients_db, sql="SELECT nmae FROM patients")
+        with service:
+            service.translate("show the name of every patient")
+            model.sql = "SELECT warp_core FROM starships"
+            service.translate("how many patients are there")
+        stats = service.stats()
+        names = [i["identity"] for i in stats["accounting"]["identities"]]
+        assert "repair.requests == repair.clean + repair.attempted" in names
+        assert (
+            "repair.attempted == repair.repaired + repair.abandoned"
+            " + repair.budget_exhausted" in names
+        )
+        assert stats["accounting"]["consistent"], stats["accounting"]
+        counters = stats["counters"]
+        assert counters["repair.requests"] == 2
+        assert counters["repair.repaired"] == 1
+        assert counters["repair.abandoned"] == 1
+        assert stats["repair"]["enabled"]
+        assert stats["repair"]["last_trace"]["outcome"] == "abandoned"
+
+    def test_repair_runs_under_tripped_breaker(self, patients_db):
+        # Model down, breaker open: the fallback leg still goes through
+        # the repair pipeline and every response stays structured.
+        service, model = make_service(patients_db, failure_threshold=1)
+        model.mode = "crash"
+        with service:
+            first = service.translate("show the age of all patients")
+            second = service.translate("show the diagnosis of all patients")
+        assert first.status == "degraded" and second.status == "degraded"
+        assert service.breaker.stats()["state"] == "open"
+        assert service.metrics.counter("repair.requests") == 2
+        stats = service.stats()
+        assert stats["accounting"]["consistent"]
+
+    def test_service_with_faulted_repair_never_raises(self, patients_db):
+        from repro.serving.service import TranslationService as Svc
+
+        model = ScriptedModel("SELECT nmae FROM patients")
+        faults = RepairFaultPlan((RepairFaultSpec(ADAPTER_CRASH, attempts=5),))
+        service = Svc(
+            DBPal(patients_db, model),
+            ServingConfig(workers=2, batch_window=0.002),
+            repair_faults=faults,
+        )
+        with service:
+            response = service.translate("show the name of every patient")
+        # Repair refuted by the injected crash: original answer served.
+        assert response.ok and response.sql == "SELECT nmae FROM patients"
+        assert response.repair["outcome"] == "abandoned"
+
+
+# ----------------------------------------------------------------------
+# Lint-gated keyword fallback (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestFallbackLintGate:
+    def test_verify_accepts_clean(self, patients):
+        fallback = KeywordFallback(patients)
+        assert fallback._verify("SELECT name FROM patients")
+
+    def test_verify_rejects_unknown_column(self, patients):
+        fallback = KeywordFallback(patients)
+        assert not fallback._verify("SELECT warp_core FROM patients")
+        assert not fallback._verify("SELECT name FROM starships")
+        assert not fallback._verify("SELECT FROM WHERE")
+
+    def test_translate_output_is_always_lint_clean(self, patients):
+        fallback = KeywordFallback(patients)
+        questions = [
+            "show the name of every patient",
+            "what is the average age",
+            "diagnosis and length of stay",
+            "colorless green ideas sleep furiously",
+        ]
+        produced = 0
+        for question in questions:
+            sql = fallback.translate(question)
+            if sql is None:
+                continue
+            produced += 1
+            diags = analyze_query(parse(sql), patients)
+            assert not any(d.severity is Severity.ERROR for d in diags), sql
+        assert produced > 0  # the gate must not silence everything
+
+
+# ----------------------------------------------------------------------
+# Cross-shard rollup
+# ----------------------------------------------------------------------
+
+
+class TestShardMerge:
+    def test_repair_counters_roll_up(self):
+        def snap(requests, clean, repaired, abandoned, exhausted):
+            return {
+                "counters": {
+                    "requests_total": requests,
+                    "repair.requests": requests,
+                    "repair.clean": clean,
+                    "repair.attempted": repaired + abandoned + exhausted,
+                    "repair.repaired": repaired,
+                    "repair.abandoned": abandoned,
+                    "repair.budget_exhausted": exhausted,
+                },
+                "repair": {"enabled": True},
+                "latency_samples": [0.01],
+            }
+
+        merged = merge_shard_stats(
+            [snap(10, 6, 3, 1, 0), snap(6, 2, 2, 1, 1)], elapsed=1.0
+        )
+        rollup = merged["repair"]
+        assert rollup["requests"] == 16
+        assert rollup["clean"] == 8
+        assert rollup["repaired"] == 5
+        assert rollup["abandoned"] == 2
+        assert rollup["budget_exhausted"] == 1
+        assert rollup["repair_rate"] == round(5 / 16, 4)
+
+    def test_no_repair_section_when_disabled(self):
+        merged = merge_shard_stats(
+            [{"counters": {"requests_total": 3}, "repair": None}], elapsed=1.0
+        )
+        assert merged["repair"] is None

@@ -1,0 +1,151 @@
+"""AST edit helpers (:mod:`repro.sql.edits`) used by the repair loop."""
+
+import pytest
+
+from repro.sql import (
+    AggFunc,
+    Aggregate,
+    ColumnRef,
+    add_group_by,
+    map_column_refs,
+    map_placeholders,
+    move_aggregate_conjuncts_to_having,
+    move_having_to_where,
+    parse,
+    qualify_column,
+    rename_column,
+    rename_table,
+    replace_aggregate_func,
+    set_from,
+    to_sql,
+)
+
+pytestmark = pytest.mark.repair
+
+
+def roundtrip(sql: str):
+    return parse(sql)
+
+
+class TestRenameColumn:
+    def test_renames_everywhere(self):
+        q = roundtrip(
+            "SELECT nmae FROM patients WHERE nmae = 'x' ORDER BY nmae"
+        )
+        out = rename_column(q, "nmae", "name")
+        assert to_sql(out) == (
+            "SELECT name FROM patients WHERE name = 'x' ORDER BY name"
+        )
+
+    def test_respects_old_table_qualifier(self):
+        q = roundtrip(
+            "SELECT patients.nmae, other.nmae FROM patients, other"
+        )
+        out = rename_column(q, "nmae", "name", old_table="patients")
+        assert to_sql(out) == (
+            "SELECT patients.name, other.nmae FROM patients, other"
+        )
+
+    def test_can_requalify(self):
+        q = roundtrip("SELECT nmae FROM patients")
+        out = rename_column(q, "nmae", "name", new_table="patients")
+        assert to_sql(out) == "SELECT patients.name FROM patients"
+
+    def test_renames_matching_placeholder_segment(self):
+        q = roundtrip("SELECT name FROM patients WHERE nmae = @NMAE")
+        out = rename_column(q, "nmae", "name")
+        assert to_sql(out) == "SELECT name FROM patients WHERE name = @NAME"
+
+    def test_renames_inside_aggregate(self):
+        q = roundtrip("SELECT AVG(agee) FROM patients")
+        out = rename_column(q, "agee", "age")
+        assert to_sql(out) == "SELECT AVG(age) FROM patients"
+
+    def test_untouched_query_is_equal(self):
+        q = roundtrip("SELECT name FROM patients")
+        assert rename_column(q, "zzz", "name") == q
+
+
+class TestRenameTable:
+    def test_renames_from_and_qualifiers(self):
+        q = roundtrip("SELECT patient.name FROM patient WHERE patient.age > 3")
+        out = rename_table(q, "patient", "patients")
+        assert to_sql(out) == (
+            "SELECT patients.name FROM patients WHERE patients.age > 3"
+        )
+
+    def test_renames_dotted_placeholder_head(self):
+        q = roundtrip("SELECT name FROM patient WHERE name = @PATIENT.NAME")
+        out = rename_table(q, "patient", "patients")
+        assert "@PATIENTS.NAME" in to_sql(out)
+        assert "FROM patients" in to_sql(out)
+
+
+class TestClauseRewrites:
+    def test_qualify_column(self):
+        q = roundtrip("SELECT name FROM patients, doctors")
+        out = qualify_column(q, "name", "patients")
+        assert to_sql(out) == "SELECT patients.name FROM patients, doctors"
+
+    def test_set_from(self):
+        q = roundtrip("SELECT name FROM patients")
+        out = set_from(q, ("patients", "visits"))
+        assert out.from_tables == ("patients", "visits")
+
+    def test_move_aggregate_conjuncts_to_having(self):
+        q = roundtrip(
+            "SELECT name FROM patients WHERE age > 3 AND COUNT(*) > 2"
+        )
+        out = move_aggregate_conjuncts_to_having(q)
+        assert to_sql(out) == (
+            "SELECT name FROM patients WHERE age > 3 HAVING COUNT(*) > 2"
+        )
+
+    def test_move_having_to_where_refuses_aggregates(self):
+        q = roundtrip("SELECT name FROM patients HAVING COUNT(*) > 2")
+        assert move_having_to_where(q) == q
+
+    def test_move_having_to_where_moves_plain_predicates(self):
+        q = roundtrip("SELECT name FROM patients HAVING age > 2")
+        out = move_having_to_where(q)
+        assert to_sql(out) == "SELECT name FROM patients WHERE age > 2"
+
+    def test_add_group_by_skips_present_keys(self):
+        q = roundtrip("SELECT name, COUNT(*) FROM patients GROUP BY name")
+        out = add_group_by(q, (ColumnRef("name"),))
+        assert out == q
+
+    def test_add_group_by_appends(self):
+        q = roundtrip("SELECT name, COUNT(*) FROM patients")
+        out = add_group_by(q, (ColumnRef("name"),))
+        assert "GROUP BY name" in to_sql(out)
+
+    def test_replace_aggregate_func(self):
+        q = roundtrip("SELECT SUM(name) FROM patients")
+        old = q.aggregates()[0]
+        new = Aggregate(AggFunc.COUNT, old.arg)
+        out = replace_aggregate_func(q, old, new)
+        assert to_sql(out) == "SELECT COUNT(name) FROM patients"
+
+
+class TestStructuralMaps:
+    def test_map_column_refs_visits_subqueries(self):
+        q = roundtrip(
+            "SELECT name FROM patients WHERE age IN "
+            "(SELECT age FROM patients WHERE nmae = 'x')"
+        )
+        seen = []
+
+        def spy(ref):
+            seen.append(ref.column)
+            return ref
+
+        map_column_refs(q, spy)
+        assert "nmae" in seen
+
+    def test_map_placeholders(self):
+        q = roundtrip("SELECT name FROM patients WHERE age = @AGE")
+        out = map_placeholders(
+            q, lambda ph: type(ph)("LENGTH_OF_STAY") if ph.name == "AGE" else ph
+        )
+        assert "@LENGTH_OF_STAY" in to_sql(out)
