@@ -28,6 +28,14 @@ from repro.analysis.diagnostics import (
     Severity,
     make,
 )
+from repro.analysis.equivalence import (
+    DISTINCT,
+    EQUIVALENT,
+    UNKNOWN,
+    EquivalenceOracle,
+    EquivalenceResult,
+    check_equivalence,
+)
 from repro.analysis.schema_lint import lint_schema
 from repro.analysis.sql_semantics import analyze_query, analyze_sql
 from repro.analysis.template_lint import (
@@ -101,12 +109,18 @@ def lint_pipeline_inputs(
 
 
 __all__ = [
+    "DISTINCT",
     "Diagnostic",
+    "EQUIVALENT",
+    "EquivalenceOracle",
+    "EquivalenceResult",
     "FixHint",
     "LINT_CODES",
     "LintReport",
     "Severity",
+    "UNKNOWN",
     "analyze_query",
+    "check_equivalence",
     "analyze_sql",
     "audit_corpus",
     "explain_dead_template",

@@ -14,7 +14,8 @@ Code ranges by pass:
 * ``L2xx`` — seed-template lint;
 * ``L3xx`` — corpus audit;
 * ``L4xx`` — schema lint;
-* ``L5xx`` — backend schema introspection (:mod:`repro.adapters`).
+* ``L5xx`` — backend schema introspection (:mod:`repro.adapters`);
+* ``L6xx`` — canonicalization & equivalence (:mod:`repro.analysis.equivalence`).
 """
 
 from __future__ import annotations
@@ -87,6 +88,13 @@ LINT_CODES: dict[str, tuple[Severity, str]] = {
     "L504": (Severity.WARNING, "composite foreign key cannot be represented; edge dropped"),
     "L505": (Severity.WARNING, "unrecognized declared type mapped by affinity"),
     "L506": (Severity.ERROR, "database contains no introspectable tables"),
+    # Canonicalization & equivalence -----------------------------------
+    "L601": (Severity.INFO, "queries proven equivalent by canonical form"),
+    "L602": (Severity.ERROR, "differential counterexample: results diverge"),
+    "L603": (Severity.WARNING, "equivalence undecided: probes agree but prove nothing"),
+    "L604": (Severity.WARNING, "differential probe skipped: query failed to execute"),
+    "L605": (Severity.INFO, "canonicalization rewrote the query"),
+    "L606": (Severity.ERROR, "unresolvable placeholder blocks differential execution"),
 }
 
 

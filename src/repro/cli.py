@@ -321,6 +321,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable trace"
     )
 
+    canonical = sub.add_parser(
+        "canonical",
+        help="print a query's canonical form/key, or decide two-query "
+        "equivalence (EQUIVALENT | DISTINCT | UNKNOWN)",
+    )
+    canonical.add_argument("schema", help="schema name (see `schemas`)")
+    canonical.add_argument("sql", help="SQL text (@JOIN form accepted)")
+    canonical.add_argument(
+        "sql2",
+        nargs="?",
+        default=None,
+        help="second SQL text; when given, run the equivalence oracle",
+    )
+    canonical.add_argument(
+        "--rows-per-table",
+        type=int,
+        default=25,
+        help="differential probe database size",
+    )
+    canonical.add_argument(
+        "--seeds",
+        default="0,17",
+        help="comma-separated probe database seeds",
+    )
+    canonical.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+
     introspect = sub.add_parser(
         "introspect",
         help="read a sqlite database file into a schema",
@@ -973,6 +1001,79 @@ def cmd_repair(args) -> int:
     return EXIT_OK if report.outcome in ("clean", "repaired") else EXIT_LINT_FINDINGS
 
 
+def cmd_canonical(args) -> int:
+    """Canonical form / equivalence oracle one-shot (PR 10).
+
+    One query: print its canonical text and stable key; exit 0.  Two
+    queries: run the three-verdict oracle — exit 0 for EQUIVALENT
+    (canonical-form proof), 4 for DISTINCT (differential
+    counterexample, an L602 finding), 3 for UNKNOWN (undecided; never
+    silently upgraded).
+    """
+    import json as json_module
+
+    from repro.analysis.equivalence import DISTINCT, EQUIVALENT, check_equivalence
+    from repro.errors import SqlError
+    from repro.runtime.postprocess import PostProcessor
+    from repro.sql.canonical import canonical_key, canonical_text
+    from repro.sql.parser import parse
+
+    schema = load_schema(args.schema)
+    post = PostProcessor(schema)
+
+    def load_query(sql: str):
+        # Accept the @JOIN shorthand the translator emits.
+        processed = post.process(sql)
+        if processed is not None and processed.query is not None:
+            return processed.query
+        return parse(sql)
+
+    try:
+        query = load_query(args.sql)
+        other = load_query(args.sql2) if args.sql2 is not None else None
+    except SqlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if other is None:
+        text = canonical_text(query, schema)
+        key = canonical_key(query, schema)
+        if args.json:
+            print(
+                json_module.dumps(
+                    {"schema": schema.name, "canonical": text, "key": key},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(f"canonical: {text}")
+            print(f"key:       {key}")
+        return EXIT_OK
+
+    seeds = tuple(int(s) for s in str(args.seeds).split(",") if s != "")
+    result = check_equivalence(
+        query,
+        other,
+        schema,
+        seeds=seeds,
+        rows_per_table=args.rows_per_table,
+    )
+    if args.json:
+        print(json_module.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"verdict:   {result.verdict}")
+        print(f"left:      {result.left_canonical}")
+        print(f"right:     {result.right_canonical}")
+        for diag in result.report.sorted():
+            print(f"{diag.severity.value:<7}    {diag}")
+    if result.verdict == EQUIVALENT:
+        return EXIT_OK
+    if result.verdict == DISTINCT:
+        return EXIT_LINT_FINDINGS
+    return EXIT_QUARANTINE
+
+
 def cmd_introspect(args) -> int:
     import json as json_module
 
@@ -1033,6 +1134,7 @@ _COMMANDS = {
     "benchmark": cmd_benchmark,
     "lint": cmd_lint,
     "repair": cmd_repair,
+    "canonical": cmd_canonical,
     "introspect": cmd_introspect,
     "db": cmd_db,
 }

@@ -111,12 +111,31 @@ class TrainingPair:
             self.__dict__["_key"] = cached
         return cached
 
+    def semantic_key(self, schema=None) -> tuple[str, str]:
+        """Canonical-form deduplication key (memoized).
+
+        Strictly coarser than :meth:`key`: pairs with one exact key
+        share a semantic key, and additionally pairs whose SQL differs
+        only by a result-invariant rewrite
+        (:func:`repro.sql.canonical.canonicalize`) collapse together.
+        Memoized on first use — callers must be consistent about the
+        ``schema`` they pass for a given pair.
+        """
+        cached = self.__dict__.get("_semantic_key")
+        if cached is None:
+            from repro.sql.canonical import canonical_text
+
+            cached = (self.nl, canonical_text(self.sql, schema))
+            self.__dict__["_semantic_key"] = cached
+        return cached
+
     def __getstate__(self) -> dict:
         # Ship the printed SQL across process boundaries (the parent
-        # merge needs it for every key probe) but not the key tuple,
-        # which just duplicates two strings and is cheap to rebuild.
+        # merge needs it for every key probe) but not the key tuples,
+        # which just duplicate strings and are cheap to rebuild.
         state = dict(self.__dict__)
         state.pop("_key", None)
+        state.pop("_semantic_key", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -126,6 +145,9 @@ class TrainingPair:
 def dedupe_pairs(
     pairs: Iterable[TrainingPair],
     seen: set[tuple[str, str]] | None = None,
+    *,
+    semantic: bool = False,
+    schemas: dict | None = None,
 ) -> list[TrainingPair]:
     """Order-preserving deduplication by :meth:`TrainingPair.key`.
 
@@ -134,12 +156,23 @@ def dedupe_pairs(
     parallel engine's shard merge.  Passing ``seen`` threads one key set
     through successive calls (global dedupe across streamed batches);
     the set is updated in place.
+
+    ``semantic=True`` keys on :meth:`TrainingPair.semantic_key`
+    instead — pairs whose SQL canonicalizes identically (optionally
+    schema-aware via ``schemas``, a ``name -> Schema`` mapping) count
+    as duplicates even when their printed SQL differs.  The default is
+    exact-key dedupe, bit-identical to the pre-PR 10 behavior; a
+    ``seen`` set must not be shared between modes.
     """
     if seen is None:
         seen = set()
     unique: list[TrainingPair] = []
     for pair in pairs:
-        key = pair.key()
+        if semantic:
+            schema = schemas.get(pair.schema_name) if schemas else None
+            key = pair.semantic_key(schema)
+        else:
+            key = pair.key()
         if key not in seen:
             seen.add(key)
             unique.append(pair)

@@ -26,11 +26,19 @@ from repro.sql.equivalence import EquivalenceChecker
 
 @dataclass
 class ItemResult:
-    """Evaluation record for one workload item."""
+    """Evaluation record for one workload item.
+
+    ``correct`` scores the workload's configured metric; ``semantic``
+    is always additionally reported (canonical-form equivalence, plus
+    checker-certified execution agreement when a checker was passed).
+    ``semantic >= correct`` holds when the metric is ``"exact"`` —
+    canonicalization subsumes normalization.
+    """
 
     item: WorkloadItem
     prediction: str | None
     correct: bool
+    semantic: bool = False
 
 
 @dataclass
@@ -56,6 +64,13 @@ class EvalResult:
         if not self.records:
             return 0.0
         return sum(r.correct for r in self.records) / len(self.records)
+
+    @property
+    def semantic_accuracy(self) -> float:
+        """Accuracy under the ``semantic_match`` column."""
+        if not self.records:
+            return 0.0
+        return sum(r.semantic for r in self.records) / len(self.records)
 
     def accuracy_where(self, predicate) -> float:
         subset = [r for r in self.records if predicate(r.item)]
@@ -87,7 +102,8 @@ class EvalResult:
         """Accuracy plus per-stage timings, as a small text report."""
         lines = [
             f"{self.workload_name}: {len(self.records)} items, "
-            f"accuracy {self.accuracy:.3f}"
+            f"accuracy {self.accuracy:.3f} "
+            f"(semantic {self.semantic_accuracy:.3f})"
         ]
         stages = dict(self.perf.get("stages", {}))
         stages.update(
@@ -170,12 +186,18 @@ def evaluate(
                 if gold_processed is not None:
                     gold = gold_processed.query
         with recorder.stage("score"):
+            semantic = semantic_match(prediction, gold, checker, schema=schema)
             if metric == "exact":
                 correct = exact_match(prediction, gold)
             else:
-                correct = semantic_match(prediction, gold, checker)
+                correct = semantic
         result.records.append(
-            ItemResult(item=item, prediction=prediction, correct=correct)
+            ItemResult(
+                item=item,
+                prediction=prediction,
+                correct=correct,
+                semantic=semantic,
+            )
         )
     result.perf = {"stages": recorder.report()}
     if checker is not None and metric == "semantic":

@@ -195,7 +195,10 @@ def merge_shard_stats(shard_stats: Sequence[dict], elapsed: float) -> dict:
         if cache:
             cache_seen = True
             for field in ("size", "capacity", "hits", "misses",
-                          "stale_hits", "evictions"):
+                          "stale_hits", "evictions",
+                          "canonical_probes", "canonical_hits",
+                          "canonical_variants", "canonical_new",
+                          "canonical_skipped", "canonical_index_size"):
                 cache_totals[field] += cache.get(field, 0)
         for name, stats in snap.get("stages", {}).items():
             merged = stages.setdefault(

@@ -838,6 +838,21 @@ class RepairPipeline:
 
     # ------------------------------------------------------------------
 
+    def _canonical_guard_key(self, query: Query) -> str:
+        """Canonical text of a (possibly still broken) candidate.
+
+        Candidates mid-repair may reference unknown tables or columns;
+        the canonicalizer degrades to schema-independent rewrites for
+        those, and any other trouble falls back to the printed form —
+        the guard must never raise or under-dedupe to nothing.
+        """
+        from repro.sql.canonical import canonical_text
+
+        try:
+            return canonical_text(query, self.schema)
+        except Exception:  # noqa: BLE001 — guard key must never raise
+            return to_sql(query)
+
     def _lint(self, query: Query, location: str, meter: _BudgetClock, trace: RepairTrace):
         t0 = self._clock()
         diagnostics = analyze_query(query, self.schema, location=location)
@@ -869,7 +884,11 @@ class RepairPipeline:
 
         current, current_errors = query, errors
         carried: list[RepairEdit] = []
-        seen = {to_sql(query)}
+        # Oscillation guard and candidate dedupe key on *canonical*
+        # forms (PR 10): a proposal that differs from an already-tried
+        # candidate only by a result-invariant rewrite would re-spend
+        # lint and execution budget on a query we have already judged.
+        seen = {self._canonical_guard_key(query)}
         candidates: list[tuple[Query, list[RepairEdit]]] = []
         outcome = None
         for attempt in range(self.budget.max_attempts):
@@ -895,11 +914,13 @@ class RepairPipeline:
                 trace.error_code = E_REPAIR_UNFIXABLE
                 break
             next_state = None
+            pruned = 0
             for candidate, edits in proposals:
                 if bindings and candidate.placeholders():
                     candidate = self._bind(candidate, list(bindings))
-                key = to_sql(candidate)
+                key = self._canonical_guard_key(candidate)
                 if key in seen:
+                    pruned += 1
                     continue
                 seen.add(key)
                 candidate_errors = self._lint(candidate, location, meter, trace)
@@ -909,6 +930,12 @@ class RepairPipeline:
                     current_errors
                 ):
                     next_state = (candidate, candidate_errors, edits)
+            if pruned:
+                trace.step(
+                    "repair",
+                    "dedupe",
+                    detail=f"{pruned} canonically duplicate candidate(s) pruned",
+                )
             if candidates:
                 break
             if next_state is None:

@@ -1,0 +1,380 @@
+"""Canonical forms for SQL ASTs — one static pass, four consumers.
+
+:func:`repro.sql.normalize.normalize` makes *syntactic* noise
+(commutative order, comparison direction, double negation) disappear;
+this module goes further and rewrites queries into a **canonical form**
+in which a larger class of result-equivalent spellings collapse to one
+AST.  The canonical form backs the serving cache's coalescing index,
+semantic corpus dedupe, the ``semantic_match`` eval column, and the
+repair loop's oscillation guard — so its soundness contract is strict:
+
+    every rewrite must be **result-invariant** on the reference
+    executor (:mod:`repro.db`).  Two queries may share a canonical form
+    only if they produce the same result values on *every* database
+    over the schema.
+
+Rewrites applied on top of :func:`normalize` (each is justified
+against the executor's documented semantics in
+:mod:`repro.db.expressions`):
+
+1. **Qualifier completion.**  In a multi-table query an unqualified
+   column ref is qualified with its owning table when exactly one FROM
+   table owns the column — precisely the executor's own name
+   resolution, which errors on any other case.  (Single-table queries
+   keep ``normalize``'s opposite convention: qualifiers are dropped.)
+2. **BETWEEN / chained-comparison normal form.**  ``col BETWEEN lo AND
+   hi`` becomes ``col >= lo AND col <= hi`` — the executor evaluates
+   BETWEEN as exactly this conjunction (inclusive bounds, NULL→False),
+   so the spellings are one query.
+3. **IN-list normal form.**  ``col = a OR col = b [OR col IN (...)]``
+   over literal/placeholder values merges into a single sorted,
+   deduplicated ``col IN (a, b, ...)``; the executor's membership test
+   agrees with a disjunction of its ``=`` comparisons on every value
+   type it supports (NULL→False, cross-type→False).  Value lists are
+   deduplicated; single-value lists collapse back to ``=`` (via
+   ``normalize``).
+4. **Placeholder normalization.**  A typed constant placeholder is
+   renamed to the dotted upper-case ``TABLE.COLUMN`` of the column it
+   is compared against (the anonymization map's own convention), when
+   that column resolves uniquely — so ``@AGE`` and ``@PATIENT.AGE``
+   unify wherever they denote the same constant slot.  Renames are
+   applied only when they keep the query's placeholder set injective:
+   two *distinct* source placeholders are never merged into one name.
+5. **GROUP BY key ordering.**  GROUP BY keys are sorted by printed
+   form: the grouping partition is a *set* of keys, and the executor
+   emits groups in first-appearance scan order, which permuting the
+   key tuple cannot change.
+6. SELECT order, DISTINCT, ORDER BY and LIMIT are preserved verbatim —
+   they are part of the result.
+
+There are no table aliases in this SQL subset, so alias normalization
+is the identity.  The differential fuzz suite
+(``tests/test_canonical_soundness.py``) enforces the contract over all
+catalog schemas; any rewrite that cannot survive it must be removed,
+never special-cased.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sql.ast import (
+    JOIN_PLACEHOLDER,
+    Aggregate,
+    And,
+    Between,
+    ColumnRef,
+    CompOp,
+    Comparison,
+    Exists,
+    InPredicate,
+    Like,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    Placeholder,
+    Predicate,
+    Query,
+    Star,
+    Subquery,
+)
+from repro.sql.normalize import normalize
+from repro.sql.printer import to_sql
+
+
+def canonicalize(query: Query, schema=None) -> Query:
+    """Return the canonical form of ``query`` (optionally schema-aware).
+
+    Without a schema only the schema-independent rewrites run
+    (BETWEEN/IN normal forms, ordering); with one, qualifier completion
+    and placeholder normalization run too.  Idempotent:
+    ``canonicalize(canonicalize(q)) == canonicalize(q)``.
+    """
+    q = normalize(query)
+    q = _canonical_pass(q, schema)
+    # Re-normalize: the rewrites introduce conjuncts and IN lists that
+    # need flattening/sorting, and may re-expose single-value INs.
+    return normalize(q)
+
+
+def canonical_text(query: Query, schema=None) -> str:
+    """Printed canonical form — the unit of semantic comparison."""
+    return to_sql(canonicalize(query, schema))
+
+
+def canonical_key(query: Query, schema=None) -> str:
+    """Stable digest of ``(canonical form, schema name)``.
+
+    Two queries share a key iff they share a canonical form over the
+    same schema; the digest is safe to persist (blake2b, not ``hash``).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update((schema.name if schema is not None else "").encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(canonical_text(query, schema).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def canonical_key_for_sql(sql: str, schema=None) -> str | None:
+    """``canonical_key`` over raw SQL text; ``None`` when unparseable.
+
+    The serving cache uses this at put-time on raw model output, which
+    may be arbitrarily malformed — parse failures must not raise.
+    """
+    from repro.errors import ReproError
+    from repro.sql.parser import parse
+
+    try:
+        return canonical_key(parse(sql), schema)
+    except (ReproError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# The canonical pass proper
+# ----------------------------------------------------------------------
+
+
+def _canonical_pass(query: Query, schema) -> Query:
+    concrete = [t for t in query.from_tables if t != JOIN_PLACEHOLDER]
+    schema_scope = (
+        schema is not None
+        and len(concrete) == len(query.from_tables)
+        and all(t in schema for t in concrete)
+    )
+
+    def qualify(ref: ColumnRef) -> ColumnRef:
+        if (
+            schema_scope
+            and len(concrete) > 1
+            and ref.table is None
+        ):
+            owners = [t for t in concrete if ref.column in schema.table(t)]
+            if len(owners) == 1:
+                return ColumnRef(ref.column, owners[0])
+        return ref
+
+    def qualify_item(item):
+        if isinstance(item, ColumnRef):
+            return qualify(item)
+        if isinstance(item, Aggregate) and isinstance(item.arg, ColumnRef):
+            return Aggregate(item.func, qualify(item.arg), item.distinct)
+        return item
+
+    def qualify_operand(operand):
+        if isinstance(operand, ColumnRef):
+            return qualify(operand)
+        if isinstance(operand, Aggregate):
+            return qualify_item(operand)
+        if isinstance(operand, Subquery):
+            return Subquery(_canonical_pass(operand.query, schema))
+        return operand
+
+    # ---- placeholder rename map (pass 4) --------------------------------
+    renames = _placeholder_renames(query, schema, concrete, schema_scope, qualify)
+
+    def operand_with_renames(operand):
+        operand = qualify_operand(operand)
+        if isinstance(operand, Placeholder) and operand.name in renames:
+            return Placeholder(renames[operand.name])
+        return operand
+
+    def rewrite(pred: Predicate) -> Predicate:
+        if isinstance(pred, Comparison):
+            return Comparison(
+                operand_with_renames(pred.left),
+                pred.op,
+                operand_with_renames(pred.right),
+            )
+        if isinstance(pred, Between):
+            column = qualify(pred.column)
+            return And(
+                (
+                    Comparison(column, CompOp.GE, operand_with_renames(pred.low)),
+                    Comparison(column, CompOp.LE, operand_with_renames(pred.high)),
+                )
+            )
+        if isinstance(pred, InPredicate):
+            sub = (
+                Subquery(_canonical_pass(pred.subquery.query, schema))
+                if pred.subquery
+                else None
+            )
+            values = _dedupe_values(
+                operand_with_renames(v) for v in pred.values
+            )
+            return InPredicate(qualify(pred.column), values, sub, pred.negated)
+        if isinstance(pred, Like):
+            return Like(
+                qualify(pred.column),
+                operand_with_renames(pred.pattern),
+                pred.negated,
+            )
+        if isinstance(pred, Exists):
+            return Exists(
+                Subquery(_canonical_pass(pred.subquery.query, schema)),
+                pred.negated,
+            )
+        if isinstance(pred, Not):
+            return Not(rewrite(pred.operand))
+        if isinstance(pred, And):
+            return And(tuple(rewrite(p) for p in pred.operands))
+        if isinstance(pred, Or):
+            return _merge_disjunction(tuple(rewrite(p) for p in pred.operands))
+        raise TypeError(f"unsupported predicate: {pred!r}")
+
+    return Query(
+        select=tuple(qualify_item(item) for item in query.select),
+        from_tables=query.from_tables,
+        where=rewrite(query.where) if query.where is not None else None,
+        group_by=tuple(
+            sorted((qualify(c) for c in query.group_by), key=str)
+        ),
+        having=rewrite(query.having) if query.having is not None else None,
+        order_by=tuple(
+            OrderItem(qualify_item(o.expr), o.desc) for o in query.order_by
+        ),
+        limit=query.limit,
+        distinct=query.distinct,
+    )
+
+
+def _dedupe_values(values) -> tuple:
+    seen: set[str] = set()
+    unique = []
+    for value in values:
+        key = str(value)
+        if key not in seen:
+            seen.add(key)
+            unique.append(value)
+    return tuple(unique)
+
+
+def _merge_disjunction(operands: tuple[Predicate, ...]) -> Predicate:
+    """Merge ``col = v`` / ``col IN (...)`` disjuncts per column (pass 3)."""
+    mergeable: dict[str, list] = {}  # printed column -> [colref, values]
+    rest: list[Predicate] = []
+    order: list[str] = []
+    for pred in operands:
+        target = _in_merge_target(pred)
+        if target is None:
+            rest.append(pred)
+            continue
+        column, values = target
+        key = str(column)
+        if key not in mergeable:
+            mergeable[key] = [column, []]
+            order.append(key)
+        mergeable[key][1].extend(values)
+    merged: list[Predicate] = []
+    for key in order:
+        column, values = mergeable[key]
+        values = _dedupe_values(values)
+        if len(values) == 1:
+            merged.append(Comparison(column, CompOp.EQ, values[0]))
+        else:
+            merged.append(InPredicate(column, values))
+    flat = merged + rest
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def _in_merge_target(pred: Predicate):
+    """``(column, values)`` when ``pred`` is a mergeable membership test."""
+    if (
+        isinstance(pred, Comparison)
+        and pred.op is CompOp.EQ
+        and isinstance(pred.left, ColumnRef)
+        and isinstance(pred.right, (Literal, Placeholder))
+    ):
+        return pred.left, [pred.right]
+    if (
+        isinstance(pred, InPredicate)
+        and not pred.negated
+        and pred.subquery is None
+        and pred.values
+    ):
+        return pred.column, list(pred.values)
+    return None
+
+
+def _placeholder_renames(
+    query: Query, schema, concrete, schema_scope: bool, qualify
+) -> dict[str, str]:
+    """Injective source-name → ``TABLE.COLUMN`` rename map (pass 4)."""
+    if not schema_scope:
+        return {}
+
+    proposals: dict[str, str] = {}
+
+    def resolve_table(ref: ColumnRef) -> str | None:
+        ref = qualify(ref)
+        if ref.table is not None:
+            return ref.table
+        if len(concrete) == 1 and ref.column in schema.table(concrete[0]):
+            return concrete[0]
+        return None
+
+    def propose(placeholder, ref: ColumnRef) -> None:
+        # Only normalize placeholders the anonymization map named after
+        # the compared column (``@AGE`` / ``@PATIENTS.AGE`` against
+        # ``age``); an unrelated name denotes a different constant slot
+        # and must never be re-keyed onto this column.
+        if placeholder.column != ref.column.lower():
+            return
+        table = resolve_table(ref)
+        if table is None:
+            return
+        if placeholder.table is not None and placeholder.table != table.lower():
+            return
+        target = f"{table.upper()}.{ref.column.upper()}"
+        existing = proposals.get(placeholder.name)
+        if existing is not None and existing != target:
+            # Conflicting contexts: leave the placeholder alone.
+            proposals[placeholder.name] = placeholder.name
+        else:
+            proposals[placeholder.name] = target
+
+    def scan(pred: Predicate) -> None:
+        if isinstance(pred, Comparison):
+            left, right = pred.left, pred.right
+            if isinstance(left, ColumnRef) and isinstance(right, Placeholder):
+                propose(right, left)
+            elif isinstance(right, ColumnRef) and isinstance(left, Placeholder):
+                propose(left, right)
+        elif isinstance(pred, Between):
+            for side in (pred.low, pred.high):
+                if isinstance(side, Placeholder):
+                    propose(side, pred.column)
+        elif isinstance(pred, InPredicate):
+            for value in pred.values:
+                if isinstance(value, Placeholder):
+                    propose(value, pred.column)
+        elif isinstance(pred, Like):
+            if isinstance(pred.pattern, Placeholder):
+                propose(pred.pattern, pred.column)
+        elif isinstance(pred, Not):
+            scan(pred.operand)
+        elif isinstance(pred, (And, Or)):
+            for operand in pred.operands:
+                scan(operand)
+
+    for clause in (query.where, query.having):
+        if clause is not None:
+            scan(clause)
+
+    # Enforce injectivity over the full placeholder-name population:
+    # a rename that would collide with another source name (renamed or
+    # not) is dropped, so two distinct constant slots never merge.
+    population = {p.name for p in query.placeholders()}
+    mapping = {name: proposals.get(name, name) for name in population}
+    targets: dict[str, list[str]] = {}
+    for source, target in mapping.items():
+        targets.setdefault(target, []).append(source)
+    renames: dict[str, str] = {}
+    for source, target in mapping.items():
+        if target != source and len(targets[target]) == 1:
+            renames[source] = target
+    return renames

@@ -111,6 +111,31 @@ class EquivalenceChecker:
             agreed = True
         return agreed
 
+    def verdict(self, left: Query, right: Query, schema=None) -> str:
+        """Three-verdict form of :meth:`equivalent` (PR 10 contract).
+
+        ``EQUIVALENT`` requires a canonical-form proof
+        (:mod:`repro.sql.canonical`); probe agreement alone yields
+        ``UNKNOWN`` (never upgraded), and a probe disagreement yields
+        ``DISTINCT``.  The boolean :meth:`equivalent` keeps its looser
+        execution-agreement acceptance for the Patients protocol.
+        """
+        from repro.analysis.equivalence import DISTINCT, EQUIVALENT, UNKNOWN
+        from repro.sql.canonical import canonicalize
+
+        if canonicalize(left, schema) == canonicalize(right, schema):
+            return EQUIVALENT
+        order_sensitive = bool(left.order_by) and bool(right.order_by)
+        for session in self._probe_sessions():
+            try:
+                left_rows = session.execute(left)
+                right_rows = session.execute(right)
+            except (ExecutionError, ReproError):
+                continue
+            if not _results_match(left_rows, right_rows, order_sensitive):
+                return DISTINCT
+        return UNKNOWN
+
     def perf_report(self) -> dict:
         """Executor stage timings + cache counters over all probes."""
         sessions = self._sessions or []

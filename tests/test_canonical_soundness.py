@@ -1,0 +1,352 @@
+"""The canonicalizer soundness gate (differential fuzz).
+
+Hard contract from the canonicalization design: the canonicalizer must
+**never merge queries that can produce different results**.  This gate
+attacks that claim three ways:
+
+1. **Randomized schemas** — every catalog schema is populated at fixed
+   seeds; schema-derived probe queries are expanded with
+   equivalence-preserving syntactic shuffles (conjunct/disjunct
+   reversal, ``BETWEEN`` ↔ chained comparison, ``IN`` ↔ ``OR``-of-=,
+   operand flips, GROUP BY reorder).  Every pair of queries that lands
+   on one ``canonical_key`` is executed and must agree exactly.
+2. **Seed corpora** — every executable query both training corpora
+   synthesize, shuffled the same way, grouped by canonical key, and
+   differentially executed.
+3. **Cache payload bit-identity** — a property check that the
+   canonical coalescing tier in :class:`TranslationCache` never alters
+   any observable payload relative to a canonical-tier-off cache fed
+   the same randomized put/get sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.equivalence import _ConstantBinder
+from repro.db import populate
+from repro.db.planner import execute_planned
+from repro.errors import ReproError
+from repro.runtime.postprocess import PostProcessor, _transform_query
+from repro.schema import SCHEMA_FACTORIES, load_schema
+from repro.serving.cache import TranslationCache
+from repro.sql.ast import And, Between, Comparison, CompOp, InPredicate, Not, Or
+from repro.sql.canonical import canonical_key, canonical_key_for_sql
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+
+pytestmark = pytest.mark.canonical
+
+
+# ----------------------------------------------------------------------
+# Equivalence-preserving shuffles (each sound by SQL semantics; the
+# canonicalizer claims to absorb every one of them).
+# ----------------------------------------------------------------------
+
+
+def _shuffle_predicate(pred):
+    if isinstance(pred, And):
+        return And(tuple(reversed([_shuffle_predicate(p) for p in pred.operands])))
+    if isinstance(pred, Or):
+        return Or(tuple(reversed([_shuffle_predicate(p) for p in pred.operands])))
+    if isinstance(pred, Not):
+        return Not(_shuffle_predicate(pred.operand))
+    if isinstance(pred, Between):
+        return And(
+            (
+                Comparison(pred.column, CompOp.GE, pred.low),
+                Comparison(pred.column, CompOp.LE, pred.high),
+            )
+        )
+    if (
+        isinstance(pred, InPredicate)
+        and pred.subquery is None
+        and not pred.negated
+        and len(pred.values) >= 2
+    ):
+        return Or(
+            tuple(
+                Comparison(pred.column, CompOp.EQ, value)
+                for value in reversed(pred.values)
+            )
+        )
+    if isinstance(pred, Comparison):
+        return Comparison(pred.right, pred.op.flipped(), pred.left)
+    return pred
+
+
+def equivalent_variants(query):
+    """Syntactic shuffles of ``query`` with provably identical results."""
+    variants = []
+    if query.where is not None:
+        variants.append(replace(query, where=_shuffle_predicate(query.where)))
+    if len(query.group_by) > 1:
+        variants.append(
+            replace(query, group_by=tuple(reversed(query.group_by)))
+        )
+    return [v for v in variants if v != query]
+
+
+# ----------------------------------------------------------------------
+# Differential execution over canonical-key groups
+# ----------------------------------------------------------------------
+
+
+def _normalized_result(query, database):
+    """(error-or-None, result values) — order kept only under ORDER BY."""
+    try:
+        rows = execute_planned(query, database)
+    except ReproError as exc:
+        return type(exc).__name__, None
+    values = [tuple(row.values()) for row in rows]
+    if not query.order_by:
+        values = sorted(values, key=repr)
+    return None, values
+
+
+def assert_group_agrees(members, database):
+    """Queries sharing a canonical key must be indistinguishable."""
+    baseline = _normalized_result(members[0], database)
+    for member in members[1:]:
+        outcome = _normalized_result(member, database)
+        assert outcome == baseline, (
+            f"canonical key merged distinguishable queries:\n"
+            f"  {to_sql(members[0])}\n  {to_sql(member)}"
+        )
+
+
+def _group_by_canonical_key(queries, schema):
+    groups: dict[str, list] = {}
+    seen: dict[str, set] = {}
+    for query in queries:
+        for candidate in (query, *equivalent_variants(query)):
+            key = canonical_key(candidate, schema)
+            text = to_sql(candidate)
+            if text in seen.setdefault(key, set()):
+                continue
+            seen[key].add(text)
+            groups.setdefault(key, []).append(candidate)
+    return groups
+
+
+# ----------------------------------------------------------------------
+# 1. Randomized databases over every catalog schema
+# ----------------------------------------------------------------------
+
+
+def _probe_queries(database):
+    """Filter/IN/BETWEEN/join/aggregate probes with real DB constants."""
+    schema = database.schema
+    queries = []
+
+    def render(value):
+        return f"'{value}'" if isinstance(value, str) else value
+
+    for table in schema.tables:
+        first = table.column_names[0]
+        numeric = next((c.name for c in table.columns if c.is_numeric), None)
+        queries.append(parse(f"SELECT * FROM {table.name}"))
+        values = [
+            v for v in database.column_values(table.name, first) if v is not None
+        ]
+        if values:
+            a, b = render(values[0]), render(values[len(values) // 2])
+            queries.append(
+                parse(f"SELECT {first} FROM {table.name} WHERE {first} = {a}")
+            )
+            queries.append(
+                parse(
+                    f"SELECT {first} FROM {table.name} "
+                    f"WHERE {first} = {a} OR {first} = {b}"
+                )
+            )
+            queries.append(
+                parse(
+                    f"SELECT {first} FROM {table.name} "
+                    f"WHERE {first} IN ({a}, {b})"
+                )
+            )
+        if numeric:
+            numbers = sorted(
+                v
+                for v in database.column_values(table.name, numeric)
+                if v is not None
+            )
+            if numbers:
+                lo, hi = numbers[0], numbers[-1]
+                queries.append(
+                    parse(
+                        f"SELECT {first} FROM {table.name} "
+                        f"WHERE {numeric} BETWEEN {lo} AND {hi}"
+                    )
+                )
+            queries.append(
+                parse(f"SELECT COUNT(*) FROM {table.name} WHERE {numeric} > 0")
+            )
+    for fk in schema.foreign_keys:
+        join = f"{fk.table}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+        left_col = f"{fk.table}.{schema.table(fk.table).column_names[0]}"
+        right_col = f"{fk.ref_table}.{schema.table(fk.ref_table).column_names[0]}"
+        queries.append(
+            parse(
+                f"SELECT {left_col}, {right_col} "
+                f"FROM {fk.table}, {fk.ref_table} WHERE {join}"
+            )
+        )
+        queries.append(
+            parse(
+                f"SELECT {right_col}, COUNT(*) "
+                f"FROM {fk.table}, {fk.ref_table} WHERE {join} "
+                f"GROUP BY {right_col}"
+            )
+        )
+    return queries
+
+
+def test_catalog_has_eleven_schemas():
+    assert len(SCHEMA_FACTORIES) == 11
+
+
+@pytest.mark.parametrize("schema_name", sorted(SCHEMA_FACTORIES))
+@pytest.mark.parametrize("seed", [0, 17])
+def test_randomized_schema_soundness(schema_name, seed):
+    schema = load_schema(schema_name)
+    database = populate(schema, rows_per_table=25, seed=seed)
+    groups = _group_by_canonical_key(_probe_queries(database), schema)
+    merged = [members for members in groups.values() if len(members) >= 2]
+    # The shuffles must actually land in the same canonical groups —
+    # otherwise this gate proves nothing.
+    assert merged, f"no canonical merges exercised on {schema_name}"
+    for members in merged:
+        assert_group_agrees(members, database)
+
+
+# ----------------------------------------------------------------------
+# 2. Seed corpora of both training schemas
+# ----------------------------------------------------------------------
+
+
+def _executable_corpus_queries(corpus, database):
+    post = PostProcessor(database.schema)
+    binder = _ConstantBinder(database)
+    queries, seen = [], set()
+    for pair in corpus.pairs:
+        processed = post.process(to_sql(pair.sql))
+        if processed is None:
+            continue
+        query = _transform_query(processed.query, binder)
+        if query.placeholders():
+            continue  # unbindable slot: nothing to execute
+        text = to_sql(query)
+        if text not in seen:
+            seen.add(text)
+            queries.append(query)
+    return queries
+
+
+@pytest.mark.parametrize(
+    "corpus_fixture, db_fixture",
+    [
+        ("patients_corpus", "patients_db"),
+        ("geography_corpus", "geography_db"),
+    ],
+)
+def test_corpus_soundness(request, corpus_fixture, db_fixture):
+    corpus = request.getfixturevalue(corpus_fixture)
+    database = request.getfixturevalue(db_fixture)
+    queries = _executable_corpus_queries(corpus, database)
+    assert len(queries) > 50
+    groups = _group_by_canonical_key(queries, database.schema)
+    merged = [members for members in groups.values() if len(members) >= 2]
+    assert merged, "corpus gate is vacuous: no canonical merges"
+    for members in merged:
+        assert_group_agrees(members, database)
+
+
+# ----------------------------------------------------------------------
+# 3. Cache payload bit-identity (canonical tier on vs off)
+# ----------------------------------------------------------------------
+
+
+SQL_POOL = [
+    "SELECT name FROM patients WHERE age = 20 OR age = 30",
+    "SELECT name FROM patients WHERE age IN (20, 30)",
+    "SELECT name FROM patients WHERE age IN (30, 20)",
+    "SELECT name FROM patients WHERE age BETWEEN 20 AND 30",
+    "SELECT name FROM patients WHERE age >= 20 AND age <= 30",
+    "SELECT AVG(age) FROM patients",
+    "SELECT * FROM patients",
+    "completely unparseable ((((",
+    None,
+]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_cache_payload_bit_identity(seed):
+    """Property: the coalescing tier never changes observable payloads.
+
+    The same randomized put/get sequence runs against a canonical-tier
+    cache and a plain one; every ``get`` must return an identical
+    payload (same text, same hit/miss outcome) in both.
+    """
+    schema = load_schema("patients")
+
+    def key_fn(sql):
+        return canonical_key_for_sql(sql, schema)
+
+    plain = TranslationCache(capacity=8, ttl=0)
+    coalescing = TranslationCache(capacity=8, ttl=0, canonical_key_fn=key_fn)
+    rng = random.Random(seed)
+    for _ in range(300):
+        key = f"nl-{rng.randrange(12)}"
+        if rng.random() < 0.5:
+            value = rng.choice(SQL_POOL)
+            plain.put(key, value)
+            coalescing.put(key, value)
+        else:
+            left = plain.get(key)
+            right = coalescing.get(key)
+            assert (left is None) == (right is None)
+            if left is not None and right is not None:
+                assert left.value == right.value
+                assert left.stale == right.stale
+    # The run must have exercised actual coalescing, and the stats
+    # identity (also asserted by the serving tier's reconciliation)
+    # must hold.
+    stats = coalescing.stats()
+    assert stats["canonical_hits"] > 0
+    assert stats["canonical_probes"] == (
+        stats["canonical_hits"]
+        + stats["canonical_variants"]
+        + stats["canonical_new"]
+        + stats["canonical_skipped"]
+    )
+    assert "canonical_probes" not in plain.stats()
+
+
+def test_cache_interning_shares_payload_objects():
+    """Equal payloads for one canonical query collapse to one string."""
+    schema = load_schema("patients")
+    cache = TranslationCache(
+        capacity=8,
+        ttl=0,
+        canonical_key_fn=lambda sql: canonical_key_for_sql(sql, schema),
+    )
+    text = "SELECT name FROM patients WHERE age IN (20, 30)"
+    cache.put("a", text)
+    cache.put("b", "SELECT name FROM patients " + "WHERE age IN (20, 30)")
+    first = cache.get("a")
+    second = cache.get("b")
+    assert first is not None and second is not None
+    assert first.value == second.value
+    assert first.value is second.value  # interned, not just equal
+    # A canonically-equal but textually different payload is preserved
+    # verbatim (payload fidelity beats interning).
+    variant = "SELECT name FROM patients WHERE age IN (30, 20)"
+    cache.put("c", variant)
+    third = cache.get("c")
+    assert third is not None and third.value == variant
+    assert cache.canonical_variants == 1

@@ -1,0 +1,90 @@
+"""Code-table drift gate: DESIGN.md vs the source-of-truth registries.
+
+Diagnostic codes (``repro.analysis.diagnostics.LINT_CODES``) and error
+codes (``repro.errors.ERROR_CODES``) are public contract: tools parse
+them out of reports and exit statuses.  This test renders both
+registries and diffs them against the tables in ``DESIGN.md`` — an
+undocumented code (added to source, not to docs) or a stale one
+(documented, gone from source) fails tier-1.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import LINT_CODES
+from repro.errors import ERROR_CODES
+
+DESIGN = Path(__file__).resolve().parent.parent / "DESIGN.md"
+
+LINT_ROW = re.compile(
+    r"^\|\s*(L\d{3})\s*\|\s*([a-z]+)[¹²]*\s*\|\s*(.+?)\s*\|\s*$", re.MULTILINE
+)
+ERROR_ROW = re.compile(r"^\|\s*(E_[A-Z_]+)\s*\|\s*(.+?)\s*\|\s*$", re.MULTILINE)
+
+
+def documented_lint_rows() -> dict[str, tuple[str, str]]:
+    text = DESIGN.read_text(encoding="utf-8")
+    rows: dict[str, tuple[str, str]] = {}
+    for code, severity, meaning in LINT_ROW.findall(text):
+        # A code documented twice (e.g. in an overview and a section
+        # table) must at least agree on severity.
+        if code in rows:
+            assert rows[code][0] == severity, f"{code} documented twice, differently"
+        rows[code] = (severity, meaning)
+    return rows
+
+
+def documented_error_rows() -> dict[str, str]:
+    text = DESIGN.read_text(encoding="utf-8")
+    return {code: meaning for code, meaning in ERROR_ROW.findall(text)}
+
+
+def test_every_lint_code_documented():
+    documented = documented_lint_rows()
+    missing = sorted(set(LINT_CODES) - set(documented))
+    assert not missing, f"codes in LINT_CODES but not DESIGN.md: {missing}"
+
+
+def test_no_stale_lint_codes():
+    documented = documented_lint_rows()
+    stale = sorted(set(documented) - set(LINT_CODES))
+    assert not stale, f"codes documented in DESIGN.md but gone from source: {stale}"
+
+
+def test_lint_severities_match():
+    documented = documented_lint_rows()
+    for code, (severity, _description) in LINT_CODES.items():
+        assert documented[code][0] == severity.value, (
+            f"{code}: DESIGN.md says {documented[code][0]!r}, "
+            f"registry says {severity.value!r}"
+        )
+
+
+def test_every_error_code_documented():
+    documented = documented_error_rows()
+    missing = sorted(set(ERROR_CODES) - set(documented))
+    assert not missing, f"codes in ERROR_CODES but not DESIGN.md: {missing}"
+
+
+def test_no_stale_error_codes():
+    documented = documented_error_rows()
+    stale = sorted(set(documented) - set(ERROR_CODES))
+    assert not stale, f"codes documented in DESIGN.md but gone from source: {stale}"
+
+
+def test_error_code_meanings_match():
+    documented = documented_error_rows()
+    for code, description in ERROR_CODES.items():
+        assert documented[code] == description, (
+            f"{code}: DESIGN.md says {documented[code]!r}, "
+            f"registry says {description!r}"
+        )
+
+
+def test_registries_are_nontrivial():
+    # Drift checks are vacuous if a refactor empties a registry.
+    assert len(LINT_CODES) >= 30
+    assert len(ERROR_CODES) >= 15
+    assert {"L601", "L602", "L603", "L604", "L605", "L606"} <= set(LINT_CODES)

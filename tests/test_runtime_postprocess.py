@@ -144,3 +144,85 @@ class TestEndToEndRepairedExecution:
         )
         rows = execute(result.query, geography_db)
         assert rows  # every city joins to some state with population > 0
+
+
+class TestRestorePlaceholders:
+    """Direct coverage for the public ``restore_placeholders`` entry."""
+
+    def test_empty_binding_map_leaves_placeholders_visible(self):
+        from repro.runtime.postprocess import restore_placeholders
+
+        query = parse("SELECT name FROM patients WHERE age > @AGE")
+        restored = restore_placeholders(query, [])
+        assert to_sql(restored) == "SELECT name FROM patients WHERE age > @AGE"
+
+    def test_repeated_placeholder_consumes_bindings_in_order(self):
+        from repro.runtime.postprocess import restore_placeholders
+
+        query = parse(
+            "SELECT name FROM patients WHERE age > @AGE AND age < @AGE"
+        )
+        restored = restore_placeholders(
+            query,
+            [
+                Binding(placeholder="AGE", value=20, column="age"),
+                Binding(placeholder="AGE", value=60, column="age"),
+            ],
+        )
+        assert to_sql(restored) == (
+            "SELECT name FROM patients WHERE age > 20 AND age < 60"
+        )
+
+    def test_repeated_placeholder_with_one_binding_partial(self):
+        from repro.runtime.postprocess import restore_placeholders
+
+        query = parse(
+            "SELECT name FROM patients WHERE age > @AGE AND age < @AGE"
+        )
+        restored = restore_placeholders(
+            query, [Binding(placeholder="AGE", value=20, column="age")]
+        )
+        # One slot restored, the other stays visible — never silently
+        # reused.
+        assert to_sql(restored) == (
+            "SELECT name FROM patients WHERE age > 20 AND age < @AGE"
+        )
+
+    def test_placeholder_text_inside_string_literal_untouched(self):
+        from repro.runtime.postprocess import restore_placeholders
+
+        query = parse("SELECT name FROM patients WHERE name = '@AGE'")
+        restored = restore_placeholders(
+            query, [Binding(placeholder="AGE", value=30, column="age")]
+        )
+        # The literal merely *looks* like a placeholder; restoration
+        # operates on AST Placeholder nodes, not on text.
+        assert to_sql(restored) == "SELECT name FROM patients WHERE name = '@AGE'"
+
+    def test_dotted_head_segments_match_column_binding(self):
+        from repro.runtime.postprocess import restore_placeholders
+
+        query = parse(
+            "SELECT name FROM patients WHERE age > @PATIENTS.AGE"
+        )
+        restored = restore_placeholders(
+            query, [Binding(placeholder="AGE", value=41, column="age")]
+        )
+        assert to_sql(restored) == "SELECT name FROM patients WHERE age > 41"
+
+    def test_bare_placeholder_matches_dotted_binding(self):
+        from repro.runtime.postprocess import restore_placeholders
+
+        query = parse("SELECT name FROM patients WHERE age > @AGE")
+        restored = restore_placeholders(
+            query,
+            [
+                Binding(
+                    placeholder="PATIENTS.AGE",
+                    value=55,
+                    table="patients",
+                    column="age",
+                )
+            ],
+        )
+        assert to_sql(restored) == "SELECT name FROM patients WHERE age > 55"

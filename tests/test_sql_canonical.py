@@ -1,0 +1,182 @@
+"""Unit tests for the canonicalizer (:mod:`repro.sql.canonical`).
+
+Every test pins a *rewrite class* documented in the module: spellings
+inside one class must share a canonical form, spellings across classes
+must not.  The differential soundness gate lives in
+``test_canonical_soundness.py``; these tests cover the static
+contract — determinism, idempotence, stability of the digest, and the
+injectivity guard on placeholder renames.
+"""
+
+import pytest
+
+from repro.schema import load_schema
+from repro.sql.canonical import (
+    canonical_key,
+    canonical_key_for_sql,
+    canonical_text,
+    canonicalize,
+)
+from repro.sql.parser import parse
+
+pytestmark = pytest.mark.canonical
+
+
+@pytest.fixture(scope="module")
+def patients():
+    return load_schema("patients")
+
+
+@pytest.fixture(scope="module")
+def geography():
+    return load_schema("geography")
+
+
+class TestNormalForms:
+    def test_between_equals_chained_comparison(self, patients):
+        between = parse("SELECT name FROM patients WHERE age BETWEEN 20 AND 30")
+        chained = parse("SELECT name FROM patients WHERE age >= 20 AND age <= 30")
+        flipped = parse("SELECT name FROM patients WHERE 20 <= age AND 30 >= age")
+        assert canonical_text(between, patients) == canonical_text(chained, patients)
+        assert canonical_text(between, patients) == canonical_text(flipped, patients)
+
+    def test_or_of_equalities_equals_in_list(self, patients):
+        ors = parse("SELECT name FROM patients WHERE age = 30 OR age = 20")
+        in_list = parse("SELECT name FROM patients WHERE age IN (20, 30)")
+        assert canonical_text(ors, patients) == canonical_text(in_list, patients)
+
+    def test_in_list_dedup_and_sort(self, patients):
+        messy = parse("SELECT name FROM patients WHERE age IN (30, 20, 30, 20)")
+        clean = parse("SELECT name FROM patients WHERE age IN (20, 30)")
+        assert canonicalize(messy, patients) == canonicalize(clean, patients)
+
+    def test_mixed_or_merges_across_eq_and_in(self, patients):
+        mixed = parse(
+            "SELECT name FROM patients WHERE age = 40 OR age IN (20, 30)"
+        )
+        in_list = parse("SELECT name FROM patients WHERE age IN (20, 30, 40)")
+        assert canonicalize(mixed, patients) == canonicalize(in_list, patients)
+
+    def test_or_merge_keeps_unrelated_disjuncts(self, patients):
+        query = parse(
+            "SELECT name FROM patients WHERE age = 20 OR age = 30 OR gender = 'F'"
+        )
+        text = canonical_text(query, patients)
+        assert "IN (20, 30)" in text
+        assert "gender = 'F'" in text
+
+    def test_single_value_in_collapses_to_eq(self, patients):
+        single = parse("SELECT name FROM patients WHERE age IN (20, 20)")
+        eq = parse("SELECT name FROM patients WHERE age = 20")
+        assert canonicalize(single, patients) == canonicalize(eq, patients)
+
+    def test_negated_in_not_merged(self, patients):
+        negated = parse(
+            "SELECT name FROM patients WHERE age NOT IN (20, 30) OR age = 40"
+        )
+        text = canonical_text(negated, patients)
+        assert "NOT IN (20, 30)" in text
+        assert "age = 40" in text
+
+    def test_group_by_key_order_is_canonical(self, geography):
+        forward = parse("SELECT COUNT(*) FROM city GROUP BY state_name, population")
+        backward = parse("SELECT COUNT(*) FROM city GROUP BY population, state_name")
+        assert canonicalize(forward, geography) == canonicalize(backward, geography)
+
+    def test_select_order_is_preserved(self, geography):
+        ab = parse("SELECT city_name, population FROM city")
+        ba = parse("SELECT population, city_name FROM city")
+        assert canonicalize(ab, geography) != canonicalize(ba, geography)
+
+    def test_distinct_and_limit_are_preserved(self, patients):
+        query = parse("SELECT DISTINCT diagnosis FROM patients LIMIT 5")
+        out = canonicalize(query, patients)
+        assert out.distinct and out.limit == 5
+
+
+class TestQualifierCompletion:
+    def test_unambiguous_refs_qualified_in_joins(self, geography):
+        bare = parse(
+            "SELECT city_name FROM city, state "
+            "WHERE city.state_name = state.state_name AND area > 100"
+        )
+        qualified = parse(
+            "SELECT city.city_name FROM city, state "
+            "WHERE state.state_name = city.state_name AND state.area > 100"
+        )
+        assert canonical_text(bare, geography) == canonical_text(
+            qualified, geography
+        )
+
+    def test_ambiguous_refs_left_alone(self, geography):
+        # ``population`` lives in both city and state: completion must
+        # not pick a side.
+        query = parse("SELECT population FROM city, state")
+        out = canonicalize(query, geography)
+        assert out.select[0].table is None
+
+    def test_single_table_refs_stay_unqualified(self, patients):
+        query = parse("SELECT patients.name FROM patients")
+        out = canonicalize(query, patients)
+        assert out.select[0].table is None
+
+
+class TestPlaceholderNormalization:
+    def test_bare_and_dotted_spellings_unify(self, patients):
+        bare = parse("SELECT name FROM patients WHERE age > @AGE")
+        dotted = parse("SELECT name FROM patients WHERE age > @PATIENTS.AGE")
+        assert canonical_text(bare, patients) == canonical_text(dotted, patients)
+
+    def test_unrelated_names_never_rekeyed(self, patients):
+        left = parse("SELECT name FROM patients WHERE age > @NOSUCH")
+        right = parse("SELECT name FROM patients WHERE age > @OTHER")
+        assert canonical_text(left, patients) != canonical_text(right, patients)
+
+    def test_rename_injectivity(self, patients):
+        # @AGE would normalize to @PATIENTS.AGE, but that name already
+        # denotes another slot in the same query — renaming would merge
+        # two distinct constants, so it must not happen.
+        query = parse(
+            "SELECT name FROM patients "
+            "WHERE age > @AGE AND length_of_stay > @PATIENTS.AGE"
+        )
+        text = canonical_text(query, patients)
+        assert "@AGE" in text and "@PATIENTS.AGE" in text
+
+    def test_no_schema_no_rename(self):
+        query = parse("SELECT name FROM patients WHERE age > @AGE")
+        assert "@AGE" in canonical_text(query, None)
+
+
+class TestStability:
+    def test_idempotent(self, patients, geography):
+        samples = [
+            ("SELECT name FROM patients WHERE age BETWEEN 20 AND 30", patients),
+            ("SELECT name FROM patients WHERE age = 1 OR age = 2 OR gender = 'F'", patients),
+            (
+                "SELECT city_name FROM city, state "
+                "WHERE city.state_name = state.state_name AND area > 10",
+                geography,
+            ),
+        ]
+        for sql, schema in samples:
+            once = canonicalize(parse(sql), schema)
+            assert canonicalize(once, schema) == once
+
+    def test_key_is_stable_and_schema_scoped(self, patients, geography):
+        query = parse("SELECT * FROM patients")
+        assert canonical_key(query, patients) == canonical_key(query, patients)
+        assert canonical_key(query, patients) != canonical_key(query, geography)
+        assert canonical_key(query, patients) != canonical_key(query, None)
+
+    def test_key_for_sql_absorbs_garbage(self, patients):
+        assert canonical_key_for_sql("SELECT * FROM patients", patients)
+        assert canonical_key_for_sql("SELECT FROM WHERE (((", patients) is None
+        assert canonical_key_for_sql("not sql at all", patients) is None
+
+    def test_equal_keys_iff_equal_canonical_text(self, patients):
+        a = parse("SELECT name FROM patients WHERE age = 20 OR age = 30")
+        b = parse("SELECT name FROM patients WHERE age IN (30, 20)")
+        c = parse("SELECT name FROM patients WHERE age IN (30, 40)")
+        assert canonical_key(a, patients) == canonical_key(b, patients)
+        assert canonical_key(a, patients) != canonical_key(c, patients)
